@@ -1,0 +1,98 @@
+// Command hfastplan turns a communication profile into a physical HFAST
+// wiring plan: how many active switch blocks to rack, and the exact
+// circuit-switch port map — node uplinks, block-tree internal links, and
+// one circuit per provisioned partner edge. This is the artifact an
+// operator would hand to the control plane configuring the MEMS switch.
+//
+// Usage:
+//
+//	hfastsim -app lbmhd -p 64 | hfastplan
+//	hfastplan -i gtc256.json -cutoff 2048 -blocksize 16 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/report"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+func main() {
+	in := flag.String("i", "-", "input profile JSON (- for stdin)")
+	cutoff := flag.Int("cutoff", topology.DefaultCutoff, "message-size cutoff in bytes")
+	blockSize := flag.Int("blocksize", hfast.DefaultBlockSize, "active switch block ports")
+	full := flag.Bool("full", false, "print every circuit (default prints a summary and the first 40)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	prof, err := ipm.ReadJSON(src)
+	if err != nil {
+		fail(err)
+	}
+	g := topology.FromProfile(prof, ipm.SteadyState)
+	a, err := hfast.Assign(g, *cutoff, *blockSize)
+	if err != nil {
+		fail(err)
+	}
+	w, err := hfast.Wire(a)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("# HFAST wiring plan: %s, P=%d, cutoff %d B, block size %d\n\n",
+		prof.App, prof.Procs, a.Cutoff, a.BlockSize)
+	u := a.Ports()
+	fmt.Printf("active switch blocks: %d (%0.2f per node)\n", a.TotalBlocks, float64(a.TotalBlocks)/float64(a.P))
+	fmt.Printf("active ports:         %d provisioned, %d lit (%.0f%% utilization)\n",
+		u.ActivePorts, u.UsedActivePorts, 100*u.Utilization())
+	fmt.Printf("circuit switch:       %d ports, %d lit\n", w.Switch.Ports(), w.Switch.LitPorts())
+	max := a.MaxRoute()
+	fmt.Printf("worst route:          %d switch-block hops, %d crossbar crossings\n\n", max.SBHops, max.Crossings)
+
+	tbl := report.NewTable("circuit", "port A", "port B", "carries")
+	count := 0
+	emit := func(pa, pb int, what string) {
+		count++
+		if !*full && count > 40 {
+			return
+		}
+		tbl.AddRow(fmt.Sprintf("%d", count), fmt.Sprintf("%d", pa), fmt.Sprintf("%d", pb), what)
+	}
+	// Uplinks and internal tree links first, then partner circuits, in
+	// the same deterministic order Wire lays them out.
+	for i := 0; i < a.P; i++ {
+		p := w.NodePort(i)
+		emit(p, w.Switch.Peer(p), fmt.Sprintf("node %d uplink", i))
+	}
+	for i := 0; i < a.P; i++ {
+		for k, j := range a.Partners[i] {
+			if j < i {
+				continue
+			}
+			pa := w.PartnerPort[i][k]
+			emit(pa, w.Switch.Peer(pa), fmt.Sprintf("edge %d-%d", i, j))
+		}
+	}
+	tbl.Write(os.Stdout)
+	if !*full && count > 40 {
+		fmt.Printf("... %d more circuits (use -full to print all)\n", count-40)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hfastplan: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command ipmreport renders a JSON communication profile (produced by
+// hfastsim) as a human-readable IPM-style report: call mix, buffer-size
+// CDFs, the communication-topology heatmap, the concurrency-with-cutoff
+// sweep, and the Table 3 summary row — plus the HFAST provisioning the
+// traffic would need.
+//
+// Usage:
+//
+//	hfastsim -app superlu -p 256 | ipmreport
+//	ipmreport -i gtc256.json -region steady
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hfast-sim/hfast/internal/analysis"
+	"github.com/hfast-sim/hfast/internal/bdp"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/report"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+func main() {
+	in := flag.String("i", "-", "input profile JSON (- for stdin)")
+	region := flag.String("region", "steady", "regions to analyze: steady, all, init, or a region name")
+	cutoff := flag.Int("cutoff", topology.DefaultCutoff, "TDC message-size cutoff in bytes")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipmreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	prof, err := ipm.ReadJSON(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipmreport: %v\n", err)
+		os.Exit(1)
+	}
+
+	var filter ipm.RegionFilter
+	switch *region {
+	case "steady":
+		filter = ipm.SteadyState
+	case "all":
+		filter = ipm.AllRegions
+	default:
+		filter = ipm.Region(*region)
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "# IPM report: %s, P=%d, params=%v\n\n", prof.App, prof.Procs, prof.Params)
+
+	report.CallMix(w, "Call mix", analysis.CallMix(prof.CallCounts(filter), 1.0))
+	if ct := prof.CommTime(filter); ct > 0 {
+		fmt.Fprintf(w, " modeled time in MPI: %.3f ms total across ranks\n", ct*1e3)
+	}
+	fmt.Fprintln(w)
+
+	report.CDFPlot(w, "Point-to-point buffer sizes", analysis.CDF(prof.PTPSizes(filter)), bdp.TargetThreshold)
+	fmt.Fprintln(w)
+	report.CDFPlot(w, "Collective buffer sizes", analysis.CDF(prof.CollectiveSizes(filter)), bdp.TargetThreshold)
+	fmt.Fprintln(w)
+
+	g := topology.FromProfile(prof, filter)
+	report.Heatmap(w, "Communication volume", g, 32)
+	fmt.Fprintln(w)
+
+	series := map[int][]topology.TDCStats{prof.Procs: g.Sweep(nil)}
+	report.TDCSweep(w, "Concurrency with cutoff", series)
+	fmt.Fprintln(w)
+
+	sum := analysis.Summarize(prof, filter, *cutoff)
+	report.SummaryTable(w, []analysis.Summary{sum})
+	fmt.Fprintln(w)
+
+	a, err := hfast.Assign(g, *cutoff, hfast.DefaultBlockSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipmreport: provisioning: %v\n", err)
+		os.Exit(1)
+	}
+	cmp, err := hfast.Compare(a, hfast.DefaultParams())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipmreport: cost model: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "HFAST provisioning: %d blocks (%.2f/node), worst route %d SB hops / %d crossings\n",
+		cmp.Blocks, float64(cmp.Blocks)/float64(prof.Procs), cmp.MaxRoute.SBHops, cmp.MaxRoute.Crossings)
+	fmt.Fprintf(w, "cost: HFAST %.0f vs fat-tree %.0f (ratio %.2f)\n",
+		cmp.HFAST.Total(), cmp.FatTree.Total(), cmp.Ratio())
+}

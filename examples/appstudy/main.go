@@ -1,0 +1,55 @@
+// Appstudy reproduces the paper's core analysis in miniature: profile all
+// six applications, print their Table 3 rows, classify each against the
+// §2.5 hypothesis (which interconnect class it needs), and show what each
+// costs on HFAST versus a fat-tree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hfast-sim/hfast/internal/analysis"
+	"github.com/hfast-sim/hfast/internal/experiments"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/report"
+)
+
+func main() {
+	procs := 64
+	if len(os.Args) > 1 && os.Args[1] == "-big" {
+		procs = 256
+	}
+	r := experiments.NewRunner(0)
+
+	fmt.Printf("Profiling the six applications at P=%d...\n\n", procs)
+	var rows []analysis.Summary
+	for _, app := range []string{"cactus", "lbmhd", "gtc", "superlu", "pmemd", "paratec"} {
+		p, err := r.Profile(app, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, analysis.Summarize(p, ipm.SteadyState, 0))
+	}
+	report.SummaryTable(os.Stdout, rows)
+	fmt.Println()
+
+	if err := experiments.Cases(os.Stdout, r, procs); err != nil {
+		log.Fatal(err)
+	}
+	if procs < 256 {
+		fmt.Println("(the paper's case assignments reflect P=256 behaviour — GTC's particle")
+		fmt.Println(" decomposition and PMEMD's thresholding only emerge there; run with -big)")
+	}
+	fmt.Println()
+
+	if err := experiments.CostModel(os.Stdout, r, procs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Conclusion (paper §5): only PARATEC (case iv) truly needs an FCN;")
+	fmt.Println("one code (Cactus) maps to a fixed mesh; the rest want an adaptive")
+	fmt.Printf("fabric — HFAST serves them with ~%d-port blocks scaling linearly in P.\n",
+		hfast.DefaultBlockSize)
+}

@@ -1,0 +1,63 @@
+// Costmodel sweeps the §5.3 cost function to peta-scale system sizes,
+// comparing HFAST against fat-trees and meshes for the three workload
+// shapes the paper identifies: bounded TDC (stencil codes), √P TDC
+// (sparse solvers), and full connectivity (spectral codes). It reproduces
+// the paper's core economic argument: the expensive component of HFAST —
+// packet-switch ports — stays constant per node while fat-tree ports per
+// processor grow with log P.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"github.com/hfast-sim/hfast/internal/experiments"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/report"
+)
+
+func main() {
+	params := hfast.DefaultParams()
+	sizes := []int{64, 256, 1024, 4096, 16384, 65536, 262144}
+
+	shapes := []struct {
+		name     string
+		example  string
+		degreeOf func(p int) int
+	}{
+		{"bounded TDC=6", "Cactus/stencil (case i)", func(int) int { return 6 }},
+		{"bounded TDC=12", "LBMHD/lattice (case ii)", func(int) int { return 12 }},
+		{"TDC=2*sqrt(P)", "SuperLU (case iii)", func(p int) int { return 2 * int(math.Sqrt(float64(p))) }},
+		{"TDC=P-1", "PARATEC/FFT (case iv)", func(p int) int { return p - 1 }},
+	}
+
+	for _, shape := range shapes {
+		pts, err := experiments.ScalingSweep(shape.degreeOf, sizes, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %s — %s\n", shape.name, shape.example)
+		tbl := report.NewTable("P", "HFAST cost", "HFAST/node", "fat-tree cost", "FT ports/proc", "HFAST/FT")
+		for _, pt := range pts {
+			tbl.AddRow(
+				fmt.Sprintf("%d", pt.Procs),
+				fmt.Sprintf("%.3g", pt.HFASTCost),
+				fmt.Sprintf("%.0f", pt.HFASTPerNode),
+				fmt.Sprintf("%.3g", pt.FatTreeCost),
+				fmt.Sprintf("%d", pt.FatTreePorts),
+				fmt.Sprintf("%.2f", pt.HFASTCost/pt.FatTreeCost),
+			)
+		}
+		tbl.Write(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("reading: for bounded-TDC workloads HFAST's cost per node is CONSTANT")
+	fmt.Println("(one block each) while fat-tree ports/proc grow with log P — the ratio")
+	fmt.Println("trends down with scale, modulo the fat-tree's power-of-radix capacity")
+	fmt.Println("steps, and right-sizing or clique-sharing blocks moves the crossover")
+	fmt.Println("earlier. For TDC=2*sqrt(P) the per-node block count itself grows, and")
+	fmt.Println("for case iv (TDC=P-1) HFAST explodes: full-bisection codes like")
+	fmt.Println("PARATEC should stay on FCNs, exactly as the paper concludes.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: profile one application skeleton, inspect its communication
+// requirements, and provision an HFAST fabric for it — the library's
+// core loop in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hfast-sim/hfast"
+)
+
+func main() {
+	// 1. Run the GTC particle-in-cell skeleton on 256 simulated ranks
+	//    under the IPM-style profiling layer.
+	prof, err := hfast.RunApp("gtc", hfast.Config{Procs: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Reduce the profile to the paper's Table 3 metrics.
+	sum := hfast.Summarize(prof)
+	fmt.Printf("%s at P=%d:\n", sum.App, sum.Procs)
+	fmt.Printf("  point-to-point calls: %.1f%% (median buffer %d B)\n", sum.PTPCallPct, sum.MedianPTPBuf)
+	fmt.Printf("  collective calls:     %.1f%% (median buffer %d B)\n", sum.CollCallPct, sum.MedianCollBuf)
+	fmt.Printf("  TDC @2KB cutoff:      max %d, avg %.1f (unthresholded max %d)\n",
+		sum.TDCMax, sum.TDCAvg, sum.MaxTDC0)
+	fmt.Printf("  FCN utilization:      %.0f%%\n", 100*sum.FCNUtil)
+
+	// 3. Provision an HFAST fabric sized to the thresholded topology.
+	g := hfast.BuildGraph(prof)
+	params := hfast.DefaultParams()
+	a, err := hfast.Provision(g, 0, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHFAST provisioning: %d active switch blocks (%.2f per node)\n",
+		a.TotalBlocks, float64(a.TotalBlocks)/float64(a.P))
+
+	// 4. Compare its cost against the fat-tree FCN the paper argues
+	//    becomes infeasible at scale.
+	cmp, err := hfast.CompareCosts(a, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost: HFAST %.0f vs fat-tree %.0f → ratio %.2f (<1 means HFAST wins)\n",
+		cmp.HFAST.Total(), cmp.FatTree.Total(), cmp.Ratio())
+	fmt.Printf("worst-case route: %d switch-block hops, %d circuit crossings\n",
+		cmp.MaxRoute.SBHops, cmp.MaxRoute.Crossings)
+}

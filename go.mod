@@ -1,0 +1,3 @@
+module github.com/hfast-sim/hfast
+
+go 1.22

@@ -1,0 +1,60 @@
+package hfast_test
+
+import (
+	"testing"
+
+	"github.com/hfast-sim/hfast"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prof, err := hfast.RunApp("cactus", hfast.Config{Procs: 16, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := hfast.Summarize(prof)
+	if sum.App != "cactus" || sum.Procs != 16 {
+		t.Fatalf("summary metadata %+v", sum)
+	}
+	if sum.TDCMax > 6 {
+		t.Errorf("cactus TDC %d > 6", sum.TDCMax)
+	}
+	g := hfast.BuildGraph(prof)
+	if g.P != 16 {
+		t.Fatalf("graph size %d", g.P)
+	}
+	params := hfast.DefaultParams()
+	a, err := hfast.Provision(g, 0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBlocks != 16 {
+		t.Errorf("cactus should get one block per node, got %d", a.TotalBlocks)
+	}
+	cmp, err := hfast.CompareCosts(a, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HFAST.Total() <= 0 || cmp.FatTree.Total() <= 0 {
+		t.Error("non-positive costs")
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	infos := hfast.Apps()
+	if len(infos) != 6 {
+		t.Fatalf("registry size %d", len(infos))
+	}
+	in, err := hfast.LookupApp("pmemd")
+	if err != nil || in.Discipline != "Life Sciences" {
+		t.Errorf("lookup pmemd: %+v, %v", in, err)
+	}
+	if _, err := hfast.LookupApp("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestFacadeCutoffConstant(t *testing.T) {
+	if hfast.DefaultCutoff != 2048 {
+		t.Errorf("default cutoff %d, want 2048 (the paper's 2KB BDP)", hfast.DefaultCutoff)
+	}
+}

@@ -1,0 +1,320 @@
+// Package apps implements communication skeletons of the six scientific
+// applications the paper profiles (Table 2): Cactus, LBMHD, GTC, SuperLU,
+// PMEMD, and PARATEC.
+//
+// Each skeleton reproduces the documented parallel decomposition and the
+// message pattern it induces — call types, buffer sizes, partner sets, and
+// their scaling with the process count — without performing the numerical
+// work. This follows the paper's own observation (§3.2) that reduced
+// communication quantities such as the topological degree of communication
+// are "largely dictated by the problem solved and algorithmic methodology";
+// running the skeleton under the IPM collector therefore yields the same
+// class of profile the authors measured on Seaborg.
+//
+// Every skeleton wraps its startup traffic in an "init" region and each
+// timestep in a "step<N>" region so analyses can reproduce the paper's
+// exclusion of initialization (done there for SuperLU) and the future-work
+// time-windowed TDC study.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+// Config carries the workload parameters of one skeleton run.
+type Config struct {
+	// Procs is the number of ranks; the skeleton must be run on a world of
+	// exactly this size.
+	Procs int
+	// Steps is the number of steady-state timesteps.
+	Steps int
+	// Scale is the per-app problem-size knob (grid points per dimension,
+	// panel width, ...); 0 selects the app default.
+	Scale int
+	// Seed perturbs the deterministic pseudo-random choices (particle
+	// imbalance, matrix structure); runs with equal configs are identical.
+	Seed int64
+}
+
+// withDefaults fills zero fields with sensible run defaults.
+func (cfg Config) withDefaults(defaultScale int) Config {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 8
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = defaultScale
+	}
+	return cfg
+}
+
+// Info describes one application skeleton, mirroring the paper's Table 2.
+type Info struct {
+	// Name is the registry key ("cactus", "lbmhd", ...).
+	Name string
+	// Discipline, Problem, and Structure reproduce the Table 2 columns.
+	Discipline string
+	Problem    string
+	Structure  string
+	// PaperLines is the code size the paper reports for the real
+	// application.
+	PaperLines int
+	// Case is the paper's §2.5 hypothesis class the application belongs to
+	// ("i" isotropic bounded, "ii" anisotropic bounded, "iii" low average /
+	// high max, "iv" full bisection).
+	Case string
+	// DefaultScale is the Scale used when Config.Scale is zero.
+	DefaultScale int
+	// Run executes one rank of the skeleton.
+	Run func(c *mpi.Comm, cfg Config)
+}
+
+// Registry lists the six skeletons in the paper's Table 2 order.
+var Registry = []Info{
+	{
+		Name:         "cactus",
+		Discipline:   "Astrophysics",
+		Problem:      "Einstein's Theory of GR via Finite Differencing",
+		Structure:    "Grid",
+		PaperLines:   84000,
+		Case:         "i",
+		DefaultScale: 194,
+		Run:          RunCactus,
+	},
+	{
+		Name:         "lbmhd",
+		Discipline:   "Plasma Physics",
+		Problem:      "Magneto-Hydrodynamics via Lattice Boltzmann",
+		Structure:    "Lattice/Grid",
+		PaperLines:   1500,
+		Case:         "ii",
+		DefaultScale: 160,
+		Run:          RunLBMHD,
+	},
+	{
+		Name:         "gtc",
+		Discipline:   "Magnetic Fusion",
+		Problem:      "Vlasov-Poisson Equation via Particle in Cell",
+		Structure:    "Particle/Grid",
+		PaperLines:   5000,
+		Case:         "iii",
+		DefaultScale: 64,
+		Run:          RunGTC,
+	},
+	{
+		Name:         "superlu",
+		Discipline:   "Linear Algebra",
+		Problem:      "Sparse Solve via LU Decomposition",
+		Structure:    "Sparse Matrix",
+		PaperLines:   42000,
+		Case:         "iii",
+		DefaultScale: 96,
+		Run:          RunSuperLU,
+	},
+	{
+		Name:         "pmemd",
+		Discipline:   "Life Sciences",
+		Problem:      "Molecular Dynamics via Particle Mesh Ewald",
+		Structure:    "Particle",
+		PaperLines:   37000,
+		Case:         "iii",
+		DefaultScale: 24576,
+		Run:          RunPMEMD,
+	},
+	{
+		Name:         "paratec",
+		Discipline:   "Material Science",
+		Problem:      "Density Functional Theory via FFT",
+		Structure:    "Fourier/Grid",
+		PaperLines:   50000,
+		Case:         "iv",
+		DefaultScale: 32,
+		Run:          RunPARATEC,
+	},
+}
+
+// Lookup finds a skeleton by name.
+func Lookup(name string) (Info, error) {
+	for _, in := range Registry {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Info{}, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// Names returns the registry names in order.
+func Names() []string {
+	out := make([]string, len(Registry))
+	for i, in := range Registry {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// stepRegion is the region name of steady-state step s.
+func stepRegion(s int) string { return fmt.Sprintf("step%03d", s) }
+
+// StepRegion exposes the step region naming for analyses.
+func StepRegion(s int) string { return stepRegion(s) }
+
+// --- process-grid helpers shared by the skeletons ---
+
+// grid3 is a 3D process grid with optional wraparound per dimension.
+type grid3 struct {
+	nx, ny, nz int
+	wrap       [3]bool
+}
+
+// factor3 splits p into three near-equal factors, largest dimensions
+// first (64 → 4×4×4, 256 → 8×8×4, 128 → 8×4×4).
+func factor3(p int) (int, int, int) {
+	best := [3]int{p, 1, 1}
+	bestScore := p * 1000
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			// Prefer the most cubic factorization: smallest extent
+			// spread, then smallest gap between the two largest.
+			score := (c-a)*1000 + (c - b)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{c, b, a}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// factor2 splits p into two near-equal factors, larger first.
+func factor2(p int) (int, int) {
+	a := 1
+	for b := 1; b*b <= p; b++ {
+		if p%b == 0 {
+			a = b
+		}
+	}
+	return p / a, a
+}
+
+func newGrid3(p int, wrap [3]bool) grid3 {
+	nx, ny, nz := factor3(p)
+	return grid3{nx: nx, ny: ny, nz: nz, wrap: wrap}
+}
+
+// coords returns the (x, y, z) position of rank r.
+func (g grid3) coords(r int) (int, int, int) {
+	x := r % g.nx
+	y := (r / g.nx) % g.ny
+	z := r / (g.nx * g.ny)
+	return x, y, z
+}
+
+// rank returns the rank at (x, y, z), or -1 when the offset walks off a
+// non-wrapping boundary.
+func (g grid3) rank(x, y, z int) int {
+	x, ok := wrapCoord(x, g.nx, g.wrap[0])
+	if !ok {
+		return -1
+	}
+	y, ok = wrapCoord(y, g.ny, g.wrap[1])
+	if !ok {
+		return -1
+	}
+	z, ok = wrapCoord(z, g.nz, g.wrap[2])
+	if !ok {
+		return -1
+	}
+	return x + g.nx*(y+g.ny*z)
+}
+
+// neighbor returns the rank at offset (dx,dy,dz) from r, or -1.
+func (g grid3) neighbor(r, dx, dy, dz int) int {
+	x, y, z := g.coords(r)
+	return g.rank(x+dx, y+dy, z+dz)
+}
+
+// torusDistance is the L1 distance between two ranks on the wrapped grid.
+func (g grid3) torusDistance(a, b int) int {
+	ax, ay, az := g.coords(a)
+	bx, by, bz := g.coords(b)
+	return torusDelta(ax, bx, g.nx, g.wrap[0]) +
+		torusDelta(ay, by, g.ny, g.wrap[1]) +
+		torusDelta(az, bz, g.nz, g.wrap[2])
+}
+
+func torusDelta(a, b, n int, wrap bool) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap && n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+func wrapCoord(c, n int, wrap bool) (int, bool) {
+	if c >= 0 && c < n {
+		return c, true
+	}
+	if !wrap {
+		return 0, false
+	}
+	c %= n
+	if c < 0 {
+		c += n
+	}
+	return c, true
+}
+
+// uniquePartners deduplicates and sorts a partner list, dropping self and
+// invalid ranks.
+func uniquePartners(self int, ranks []int) []int {
+	seen := make(map[int]bool, len(ranks))
+	var out []int
+	for _, r := range ranks {
+		if r < 0 || r == self || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// splitMix64 is a tiny deterministic hash used for reproducible
+// pseudo-random workload structure (particle imbalance, matrix fill).
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFloat maps a key deterministically to [0,1).
+func hashFloat(keys ...uint64) float64 {
+	h := uint64(0x123456789abcdef)
+	for _, k := range keys {
+		h = splitMix64(h ^ k)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// hashRange maps a key deterministically to [lo,hi).
+func hashRange(lo, hi int, keys ...uint64) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int(hashFloat(keys...)*float64(hi-lo))
+}

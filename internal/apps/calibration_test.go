@@ -1,0 +1,146 @@
+package apps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/analysis"
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// paperRow is a Table 3 target used to validate skeleton shape. Tolerances
+// are generous: the skeletons reproduce decomposition-driven structure,
+// not the authors' exact inputs.
+type paperRow struct {
+	procs        int
+	ptpPct       float64 // % point-to-point calls
+	medianPTP    int     // bytes
+	medianColl   int     // bytes
+	tdcMax       int     // at 2 KB cutoff
+	tdcAvg       float64 // at 2 KB cutoff
+	maxTDC0      int     // unthresholded max (-1: not reported)
+	tolPct       float64 // abs tolerance on call percentages
+	tolTDCMax    int
+	tolTDCAvg    float64
+	tolMedianLog float64 // multiplicative tolerance on medians (×/÷)
+}
+
+var table3 = map[string][]paperRow{
+	"gtc": {
+		{procs: 64, ptpPct: 42.0, medianPTP: 128 << 10, medianColl: 100, tdcMax: 2, tdcAvg: 2, maxTDC0: 4,
+			tolPct: 12, tolTDCMax: 1, tolTDCAvg: 1, tolMedianLog: 2},
+		{procs: 256, ptpPct: 40.2, medianPTP: 128 << 10, medianColl: 100, tdcMax: 10, tdcAvg: 4, maxTDC0: 17,
+			tolPct: 12, tolTDCMax: 4, tolTDCAvg: 2, tolMedianLog: 2},
+	},
+	"cactus": {
+		{procs: 64, ptpPct: 99.4, medianPTP: 299 << 10, medianColl: 8, tdcMax: 6, tdcAvg: 5, maxTDC0: 6,
+			tolPct: 1, tolTDCMax: 0, tolTDCAvg: 1, tolMedianLog: 1.3},
+		{procs: 256, ptpPct: 99.5, medianPTP: 300 << 10, medianColl: 8, tdcMax: 6, tdcAvg: 5, maxTDC0: 6,
+			tolPct: 1, tolTDCMax: 0, tolTDCAvg: 1, tolMedianLog: 1.3},
+	},
+	"lbmhd": {
+		{procs: 64, ptpPct: 99.8, medianPTP: 811 << 10, medianColl: 8, tdcMax: 12, tdcAvg: 11.5, maxTDC0: 12,
+			tolPct: 1, tolTDCMax: 0, tolTDCAvg: 1, tolMedianLog: 1.3},
+		{procs: 256, ptpPct: 99.9, medianPTP: 848 << 10, medianColl: 8, tdcMax: 12, tdcAvg: 11.8, maxTDC0: 12,
+			tolPct: 1, tolTDCMax: 0, tolTDCAvg: 1, tolMedianLog: 1.3},
+	},
+	"superlu": {
+		{procs: 64, ptpPct: 89.8, medianPTP: 64, medianColl: 24, tdcMax: 14, tdcAvg: 14, maxTDC0: 63,
+			tolPct: 6, tolTDCMax: 3, tolTDCAvg: 3, tolMedianLog: 2},
+		{procs: 256, ptpPct: 92.8, medianPTP: 48, medianColl: 24, tdcMax: 30, tdcAvg: 30, maxTDC0: 255,
+			tolPct: 6, tolTDCMax: 4, tolTDCAvg: 4, tolMedianLog: 2},
+	},
+	"pmemd": {
+		{procs: 64, ptpPct: 99.1, medianPTP: 6 << 10, medianColl: 768, tdcMax: 63, tdcAvg: 63, maxTDC0: 63,
+			tolPct: 2, tolTDCMax: 0, tolTDCAvg: 2, tolMedianLog: 2.5},
+		{procs: 256, ptpPct: 98.6, medianPTP: 72, medianColl: 768, tdcMax: 255, tdcAvg: 55, maxTDC0: 255,
+			tolPct: 2, tolTDCMax: 0, tolTDCAvg: 12, tolMedianLog: 12},
+	},
+	"paratec": {
+		{procs: 64, ptpPct: 99.5, medianPTP: 64, medianColl: 8, tdcMax: 63, tdcAvg: 63, maxTDC0: 63,
+			tolPct: 1, tolTDCMax: 0, tolTDCAvg: 1, tolMedianLog: 2},
+		{procs: 256, ptpPct: 99.9, medianPTP: 64, medianColl: 8, tdcMax: 255, tdcAvg: 255, maxTDC0: 255,
+			tolPct: 1, tolTDCMax: 0, tolTDCAvg: 1, tolMedianLog: 2},
+	},
+}
+
+// summaries caches profiled runs across tests in this package.
+var summaryCache = map[string]analysis.Summary{}
+var profileCache = map[string]*ipm.Profile{}
+
+func profileFor(t *testing.T, name string, procs int) (*ipm.Profile, analysis.Summary) {
+	t.Helper()
+	key := fmt.Sprintf("%s/%d", name, procs)
+	if p, ok := profileCache[key]; ok {
+		return p, summaryCache[key]
+	}
+	prof, err := apps.ProfileRun(name, apps.Config{Procs: procs})
+	if err != nil {
+		t.Fatalf("profiling %s at P=%d: %v", name, procs, err)
+	}
+	sum := analysis.Summarize(prof, ipm.SteadyState, topology.DefaultCutoff)
+	profileCache[key] = prof
+	summaryCache[key] = sum
+	return prof, sum
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func absi(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func withinLog(got, want int, factor float64) bool {
+	if got <= 0 || want <= 0 {
+		return got == want
+	}
+	r := float64(got) / float64(want)
+	return r <= factor && r >= 1/factor
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application calibration")
+	}
+	for _, name := range apps.Names() {
+		rows := table3[name]
+		for _, row := range rows {
+			row := row
+			t.Run(fmt.Sprintf("%s/P=%d", name, row.procs), func(t *testing.T) {
+				_, sum := profileFor(t, name, row.procs)
+				t.Logf("measured: ptp%%=%.1f coll%%=%.1f medPTP=%d medColl=%d tdc@2k=(%d,%.1f) tdc@0=(%d,%.1f) util=%.0f%%",
+					sum.PTPCallPct, sum.CollCallPct, sum.MedianPTPBuf, sum.MedianCollBuf,
+					sum.TDCMax, sum.TDCAvg, sum.MaxTDC0, sum.AvgTDC0, 100*sum.FCNUtil)
+
+				if absf(sum.PTPCallPct-row.ptpPct) > row.tolPct {
+					t.Errorf("PTP call %%: got %.1f want %.1f ± %.1f", sum.PTPCallPct, row.ptpPct, row.tolPct)
+				}
+				if !withinLog(sum.MedianPTPBuf, row.medianPTP, row.tolMedianLog) {
+					t.Errorf("median PTP buffer: got %d want %d (×/÷%.1f)", sum.MedianPTPBuf, row.medianPTP, row.tolMedianLog)
+				}
+				if !withinLog(sum.MedianCollBuf, row.medianColl, 2.5) {
+					t.Errorf("median collective buffer: got %d want %d", sum.MedianCollBuf, row.medianColl)
+				}
+				if absi(sum.TDCMax-row.tdcMax) > row.tolTDCMax {
+					t.Errorf("TDC max @2KB: got %d want %d ± %d", sum.TDCMax, row.tdcMax, row.tolTDCMax)
+				}
+				if absf(sum.TDCAvg-row.tdcAvg) > row.tolTDCAvg {
+					t.Errorf("TDC avg @2KB: got %.1f want %.1f ± %.1f", sum.TDCAvg, row.tdcAvg, row.tolTDCAvg)
+				}
+				if row.maxTDC0 >= 0 && absi(sum.MaxTDC0-row.maxTDC0) > row.tolTDCMax+3 {
+					t.Errorf("TDC max @0: got %d want %d", sum.MaxTDC0, row.maxTDC0)
+				}
+			})
+		}
+	}
+}

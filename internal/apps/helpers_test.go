@@ -1,0 +1,182 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactor3(t *testing.T) {
+	cases := map[int][3]int{
+		64:  {4, 4, 4},
+		256: {8, 8, 4},
+		128: {8, 4, 4},
+		1:   {1, 1, 1},
+		2:   {2, 1, 1},
+		27:  {3, 3, 3},
+		60:  {5, 4, 3},
+	}
+	for p, want := range cases {
+		a, b, c := factor3(p)
+		if a*b*c != p {
+			t.Errorf("factor3(%d) = %d,%d,%d does not multiply back", p, a, b, c)
+		}
+		if [3]int{a, b, c} != want {
+			t.Errorf("factor3(%d) = %d,%d,%d, want %v", p, a, b, c, want)
+		}
+		if a < b || b < c {
+			t.Errorf("factor3(%d) not sorted descending", p)
+		}
+	}
+}
+
+func TestFactor2(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 12, 64, 256, 100} {
+		a, b := factor2(p)
+		if a*b != p || a < b {
+			t.Errorf("factor2(%d) = %d,%d", p, a, b)
+		}
+	}
+	if a, b := factor2(64); a != 8 || b != 8 {
+		t.Errorf("factor2(64) = %d,%d, want 8,8", a, b)
+	}
+}
+
+func TestGrid3RoundTripQuick(t *testing.T) {
+	f := func(pRaw uint8, rRaw uint16) bool {
+		p := int(pRaw)%200 + 1
+		g := newGrid3(p, [3]bool{true, false, true})
+		r := int(rRaw) % p
+		x, y, z := g.coords(r)
+		return g.rank(x, y, z) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid3Boundaries(t *testing.T) {
+	g := newGrid3(64, [3]bool{false, false, true}) // cactus layout
+	// Corner (0,0,0): -x and -y walk off; -z wraps.
+	if n := g.neighbor(0, -1, 0, 0); n != -1 {
+		t.Errorf("-x off grid gave %d", n)
+	}
+	if n := g.neighbor(0, 0, -1, 0); n != -1 {
+		t.Errorf("-y off grid gave %d", n)
+	}
+	if n := g.neighbor(0, 0, 0, -1); n == -1 {
+		t.Error("-z should wrap")
+	}
+}
+
+func TestTorusDistance(t *testing.T) {
+	g := newGrid3(64, [3]bool{true, true, true}) // 4x4x4
+	if d := g.torusDistance(0, 0); d != 0 {
+		t.Errorf("self distance %d", d)
+	}
+	// (0,0,0) to (3,3,3): wraps to 1+1+1.
+	far := g.rank(3, 3, 3)
+	if d := g.torusDistance(0, far); d != 3 {
+		t.Errorf("wrap distance %d, want 3", d)
+	}
+	if g.torusDistance(0, far) != g.torusDistance(far, 0) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestUniquePartners(t *testing.T) {
+	got := uniquePartners(2, []int{5, 3, 5, -1, 2, 7, 3})
+	want := []int{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	a := hashFloat(1, 2, 3)
+	b := hashFloat(1, 2, 3)
+	if a != b {
+		t.Error("hashFloat not deterministic")
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("hashFloat out of range: %g", a)
+	}
+	if hashFloat(1, 2, 3) == hashFloat(1, 2, 4) {
+		t.Error("hashFloat collision on trivially different keys")
+	}
+}
+
+func TestHashRangeQuick(t *testing.T) {
+	f := func(lo uint8, span uint8, k uint64) bool {
+		l := int(lo)
+		h := l + int(span)
+		v := hashRange(l, h, k)
+		if h == l {
+			return v == l
+		}
+		return v >= l && v < h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGTCDecompose(t *testing.T) {
+	l := gtcDecompose(0, 64, 64)
+	if l.ntor != 64 || l.m != 1 {
+		t.Errorf("P=64: ntor=%d m=%d, want 64,1", l.ntor, l.m)
+	}
+	l = gtcDecompose(255, 256, 64)
+	if l.ntor != 64 || l.m != 4 || l.t != 63 || l.p != 3 {
+		t.Errorf("P=256 rank 255: %+v", l)
+	}
+	// Ring wrap.
+	if r := l.rank(64, 0); r != 0 {
+		t.Errorf("rank(64,0) = %d, want 0", r)
+	}
+	if r := l.rank(-1, 2); r != 63*4+2 {
+		t.Errorf("rank(-1,2) = %d, want %d", r, 63*4+2)
+	}
+	// Non-power-of-two P: largest divisor ≤ 64.
+	l = gtcDecompose(0, 96, 64)
+	if l.ntor != 48 || l.m != 2 {
+		t.Errorf("P=96: ntor=%d m=%d, want 48,2", l.ntor, l.m)
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("registry size %d", len(names))
+	}
+	for _, n := range names {
+		in, err := Lookup(n)
+		if err != nil || in.Name != n || in.Run == nil {
+			t.Errorf("lookup %q: %+v %v", n, in, err)
+		}
+	}
+	if _, err := Lookup("nonesuch"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults(42)
+	if cfg.Steps != 8 || cfg.Scale != 42 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	cfg = Config{Steps: 3, Scale: 7}.withDefaults(42)
+	if cfg.Steps != 3 || cfg.Scale != 7 {
+		t.Errorf("explicit values overridden: %+v", cfg)
+	}
+}
+
+func TestStepRegionFormat(t *testing.T) {
+	if stepRegion(3) != "step003" || StepRegion(42) != "step042" {
+		t.Error("region naming changed; trace windows depend on it")
+	}
+}

@@ -1,0 +1,38 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+// DefaultTimeout bounds a profiled skeleton run; the largest standard
+// workload (PARATEC at P=256) finishes well inside it.
+const DefaultTimeout = 5 * time.Minute
+
+// ProfileRun executes the named skeleton on a fresh world under the IPM
+// collector and returns the assembled profile.
+func ProfileRun(name string, cfg Config) (*ipm.Profile, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("apps: %s: Procs must be positive, got %d", name, cfg.Procs)
+	}
+	set := ipm.NewCollectorSet(0)
+	w := mpi.NewWorld(cfg.Procs,
+		mpi.WithTimeout(DefaultTimeout),
+		mpi.WithCostModel(mpi.DefaultCostModel()),
+		mpi.WithTracerFactory(set.Factory))
+	if err := w.Run(func(c *mpi.Comm) { info.Run(c, cfg) }); err != nil {
+		return nil, fmt.Errorf("apps: %s run failed: %w", name, err)
+	}
+	full := cfg.withDefaults(info.DefaultScale)
+	return set.Profile(name, cfg.Procs, map[string]int{
+		"steps": full.Steps,
+		"scale": full.Scale,
+	}), nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hfast-sim/hfast/internal/analysis"
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/bdp"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/report"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// Fig2Data computes the call mix of one application (paper Figure 2).
+func Fig2Data(r *Runner, app string, procs int) ([]analysis.CallShare, error) {
+	p, err := r.Profile(app, procs)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.CallMix(p.CallCounts(ipm.SteadyState), 2.0), nil
+}
+
+// Fig2 renders the relative number of MPI calls per code.
+func Fig2(w io.Writer, r *Runner, procs int) error {
+	fmt.Fprintf(w, "Figure 2: relative number of MPI communication calls (P=%d)\n\n", procs)
+	for _, app := range apps.Names() {
+		mix, err := Fig2Data(r, app, procs)
+		if err != nil {
+			return err
+		}
+		report.CallMix(w, app, mix)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig3Data merges the collective buffer-size histogram across all codes
+// (paper Figure 3).
+func Fig3Data(r *Runner, procs int) ([]ipm.SizeCount, error) {
+	merged := map[int]int64{}
+	for _, app := range apps.Names() {
+		p, err := r.Profile(app, procs)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range p.CollectiveSizes(ipm.SteadyState) {
+			merged[sc.Bytes] += sc.Count
+		}
+	}
+	out := make([]ipm.SizeCount, 0, len(merged))
+	for b, c := range merged {
+		out = append(out, ipm.SizeCount{Bytes: b, Count: c})
+	}
+	sortSizeCounts(out)
+	return out, nil
+}
+
+func sortSizeCounts(s []ipm.SizeCount) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Bytes < s[j].Bytes })
+}
+
+// Fig3 renders the collective buffer-size CDF for all codes.
+func Fig3(w io.Writer, r *Runner, procs int) error {
+	hist, err := Fig3Data(r, procs)
+	if err != nil {
+		return err
+	}
+	report.CDFPlot(w, fmt.Sprintf("Figure 3: collective buffer sizes, all codes (P=%d)", procs),
+		analysis.CDF(hist), bdp.TargetThreshold)
+	fmt.Fprintf(w, "%% of collective payloads ≤ 2KB: %.1f%% (paper: ~90%%)\n",
+		analysis.PctAtOrBelow(hist, bdp.TargetThreshold))
+	return nil
+}
+
+// Fig4 renders the per-application point-to-point buffer-size CDFs
+// (paper Figure 4).
+func Fig4(w io.Writer, r *Runner, procs int) error {
+	fmt.Fprintf(w, "Figure 4: point-to-point buffer sizes per code (P=%d)\n\n", procs)
+	for _, app := range apps.Names() {
+		p, err := r.Profile(app, procs)
+		if err != nil {
+			return err
+		}
+		hist := p.PTPSizes(ipm.SteadyState)
+		report.CDFPlot(w, app+" PTP buffer sizes", analysis.CDF(hist), bdp.TargetThreshold)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// figNumbers maps each application to its paper figure number.
+var figNumbers = map[string]int{
+	"gtc":     5,
+	"cactus":  6,
+	"lbmhd":   7,
+	"superlu": 8,
+	"pmemd":   9,
+	"paratec": 10,
+}
+
+// FigAppData computes one application figure: the P=256 volume matrix and
+// the TDC-vs-cutoff series at both paper sizes.
+func FigAppData(r *Runner, app string) (*topology.Graph, map[int][]topology.TDCStats, error) {
+	series := make(map[int][]topology.TDCStats)
+	var big *topology.Graph
+	for _, procs := range PaperProcs {
+		p, err := r.Profile(app, procs)
+		if err != nil {
+			return nil, nil, err
+		}
+		g := topology.FromProfile(p, ipm.SteadyState)
+		series[procs] = g.Sweep(nil)
+		big = g
+	}
+	return big, series, nil
+}
+
+// FigApp renders one application's paper figure (5–10): communication
+// volume heatmap plus concurrency-with-cutoff.
+func FigApp(w io.Writer, r *Runner, app string) error {
+	big, series, err := FigAppData(r, app)
+	if err != nil {
+		return err
+	}
+	n := figNumbers[app]
+	report.Heatmap(w, fmt.Sprintf("Figure %d(a): %s volume of communication", n, app), big, 32)
+	fmt.Fprintln(w)
+	report.TDCSweep(w, fmt.Sprintf("Figure %d(b): %s concurrency with cutoff", n, app), series)
+	return nil
+}
+
+// Figures renders all six per-application figures.
+func Figures(w io.Writer, r *Runner) error {
+	for _, app := range []string{"gtc", "cactus", "lbmhd", "superlu", "pmemd", "paratec"} {
+		if err := FigApp(w, r, app); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

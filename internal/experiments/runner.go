@@ -1,0 +1,49 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the application skeletons, and adds the ablations
+// DESIGN.md calls out (clique mapping, fabric simulation, time-windowed
+// TDC). cmd/experiments renders them for humans; bench_test.go reports
+// their headline numbers as benchmark metrics.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+)
+
+// PaperProcs are the two concurrencies the paper evaluates throughout.
+var PaperProcs = []int{64, 256}
+
+// Runner executes and caches application profiles so one process can
+// regenerate many artifacts without re-running the skeletons.
+type Runner struct {
+	mu    sync.Mutex
+	steps int
+	cache map[string]*ipm.Profile
+}
+
+// NewRunner creates a runner; steps ≤ 0 uses the skeleton default.
+func NewRunner(steps int) *Runner {
+	return &Runner{steps: steps, cache: make(map[string]*ipm.Profile)}
+}
+
+// Profile returns the (cached) profile of an application at a size.
+func (r *Runner) Profile(app string, procs int) (*ipm.Profile, error) {
+	key := fmt.Sprintf("%s/%d", app, procs)
+	r.mu.Lock()
+	p, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := apps.ProfileRun(app, apps.Config{Procs: procs, Steps: r.steps})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[key] = p
+	r.mu.Unlock()
+	return p, nil
+}

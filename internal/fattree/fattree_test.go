@@ -1,0 +1,111 @@
+package fattree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDesignPaperExample(t *testing.T) {
+	// The paper's example: a 6-layer fat-tree of 8-port switches connects
+	// 2·4^6 = 8192 ≥ 2048 processors... the smallest tree for 2048 procs
+	// at radix 8 is L=5 (2·4^5 = 2048), and the paper's 6-layer/11-port
+	// figure corresponds to P = 2·4^6.
+	tr, err := Design(8192, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Layers != 6 {
+		t.Errorf("layers %d, want 6", tr.Layers)
+	}
+	if tr.PortsPerProc() != 11 {
+		t.Errorf("ports/proc %d, want 11 (the paper's example)", tr.PortsPerProc())
+	}
+	if tr.MaxSwitchHops() != 21 {
+		t.Errorf("max hops %d, want 21 (the paper's example)", tr.MaxSwitchHops())
+	}
+}
+
+func TestDesignExactCapacity(t *testing.T) {
+	tr, err := Design(2048, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Layers != 5 || tr.Procs != 2048 {
+		t.Errorf("2048@8: layers=%d procs=%d", tr.Layers, tr.Procs)
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	if _, err := Design(0, 8); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := Design(100, 7); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := Design(100, 2); err == nil {
+		t.Error("radix 2 accepted")
+	}
+}
+
+func TestDesignCoversQuick(t *testing.T) {
+	f := func(pRaw uint16, rIdx uint8) bool {
+		p := int(pRaw)%10000 + 1
+		radices := []int{4, 8, 16, 32}
+		radix := radices[int(rIdx)%len(radices)]
+		tr, err := Design(p, radix)
+		if err != nil {
+			return false
+		}
+		if tr.Procs < p {
+			return false
+		}
+		// Minimal: one fewer layer must not cover (except L=1 floor).
+		if tr.Layers > 1 {
+			half := radix / 2
+			cap := 2
+			for i := 0; i < tr.Layers-1; i++ {
+				cap *= half
+			}
+			if cap >= p {
+				return false
+			}
+		}
+		return tr.PortsPerProc() == 1+2*(tr.Layers-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAndSwitches(t *testing.T) {
+	tr, err := Design(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 ≤ 2·8² = 128 → L=2, 3 ports/proc over 128 procs capacity.
+	if tr.Layers != 2 || tr.Procs != 128 {
+		t.Fatalf("unexpected design %+v", tr)
+	}
+	if tr.TotalPorts() != 128*3 {
+		t.Errorf("total ports %d", tr.TotalPorts())
+	}
+	if tr.Switches() != (128*3+15)/16 {
+		t.Errorf("switches %d", tr.Switches())
+	}
+	if tr.Cost(2) != float64(128*3*2) {
+		t.Errorf("cost %g", tr.Cost(2))
+	}
+	if got := tr.WorstCaseLatency(50e-9); math.Abs(got-float64(tr.MaxSwitchHops())*50e-9) > 1e-18 {
+		t.Errorf("latency %g", got)
+	}
+}
+
+func TestLayersFor(t *testing.T) {
+	// log_{8}(2048/2) with radix 16 → log_8(1024) = 10/3.
+	got := LayersFor(2048, 16)
+	want := math.Log(1024) / math.Log(8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("LayersFor = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,88 @@
+package hfast
+
+import (
+	"fmt"
+
+	"github.com/hfast-sim/hfast/internal/fattree"
+)
+
+// CostBreakdown itemizes the §5.3 cost function
+// Cost = Nactive·Costactive + Costpassive + Costcollective (plus NICs,
+// common to every design).
+type CostBreakdown struct {
+	// Active is the packet-switch block cost — the component HFAST keeps
+	// linear in system size.
+	Active float64
+	// Passive is the circuit-switch cost; its port count grows like an
+	// FCN's but at a far lower per-port price.
+	Passive float64
+	// Collective is the dedicated low-bandwidth tree network.
+	Collective float64
+	// NIC is the host adapter cost.
+	NIC float64
+}
+
+// Total sums the breakdown.
+func (c CostBreakdown) Total() float64 {
+	return c.Active + c.Passive + c.Collective + c.NIC
+}
+
+// Cost prices an assignment under the given parameters.
+func Cost(a *Assignment, p Params) CostBreakdown {
+	u := a.Ports()
+	return CostBreakdown{
+		Active:     float64(u.ActivePorts) * p.ActivePortCost,
+		Passive:    float64(u.PassivePorts) * p.PassivePortCost,
+		Collective: float64(a.P) * p.CollectiveNodeCost,
+		NIC:        float64(a.P) * p.NICCost,
+	}
+}
+
+// FatTreeCost prices the fat-tree FCN baseline for the same node count,
+// using blocks of the same radix as switches plus the collective traffic
+// carried in-band (no separate tree network).
+func FatTreeCost(procs int, p Params) (CostBreakdown, fattree.Tree, error) {
+	t, err := fattree.Design(procs, p.BlockSize)
+	if err != nil {
+		return CostBreakdown{}, fattree.Tree{}, fmt.Errorf("hfast: sizing fat-tree baseline: %w", err)
+	}
+	return CostBreakdown{
+		Active: t.Cost(p.ActivePortCost),
+		NIC:    float64(procs) * p.NICCost,
+	}, t, nil
+}
+
+// Comparison contrasts HFAST against the fat-tree for one workload.
+type Comparison struct {
+	Procs    int
+	HFAST    CostBreakdown
+	FatTree  CostBreakdown
+	Tree     fattree.Tree
+	Blocks   int
+	MaxRoute Route
+}
+
+// Ratio is HFAST cost over fat-tree cost (< 1 means HFAST wins).
+func (c Comparison) Ratio() float64 {
+	ft := c.FatTree.Total()
+	if ft == 0 {
+		return 0
+	}
+	return c.HFAST.Total() / ft
+}
+
+// Compare prices an assignment against the fat-tree baseline.
+func Compare(a *Assignment, p Params) (Comparison, error) {
+	ftCost, tree, err := FatTreeCost(a.P, p)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Procs:    a.P,
+		HFAST:    Cost(a, p),
+		FatTree:  ftCost,
+		Tree:     tree,
+		Blocks:   a.TotalBlocks,
+		MaxRoute: a.MaxRoute(),
+	}, nil
+}

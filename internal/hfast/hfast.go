@@ -1,0 +1,130 @@
+// Package hfast implements the paper's primary contribution: the Hybrid
+// Flexibly Assignable Switch Topology. A fully connected passive circuit
+// switch (MEMS-style, milliseconds to reconfigure, near-zero forwarding
+// latency) sits between the processing nodes and a pool of small active
+// packet-switch blocks. Provisioning the circuit switch wires each node to
+// enough packet-switch capacity to reach its communication partners, so
+// the expensive component — packet-switch ports — scales linearly with the
+// system while the topology remains freely reassignable at runtime.
+//
+// The package provides the paper's linear-time switch-block assignment
+// (§5.3: one block per node when the thresholded TDC fits, a fan-in/out
+// tree of blocks otherwise), message routing over the provisioned fabric
+// (counting circuit-switch crossings and switch-block hops as in Figure
+// 1), the cost model comparing HFAST against fat-trees, and the
+// incremental runtime reconfiguration described in §2.3.
+package hfast
+
+import "fmt"
+
+// DefaultBlockSize is the paper's homogeneous active switch block size:
+// 16 ports, of which one uplinks to the node, leaving 15 for partners.
+const DefaultBlockSize = 16
+
+// Params sets the component prices and block geometry of a fabric.
+// Prices are arbitrary units; only ratios matter and the defaults follow
+// the paper's premise that a passive (circuit) port costs far less than
+// an active (packet) port.
+type Params struct {
+	// BlockSize is the port count of one active switch block.
+	BlockSize int
+	// ActivePortCost is the price of one packet-switch port (the dominant
+	// term).
+	ActivePortCost float64
+	// PassivePortCost is the price of one circuit-switch port.
+	PassivePortCost float64
+	// NICCost is the price of one host adapter (present in every design,
+	// included for completeness).
+	NICCost float64
+	// CollectiveNodeCost is the per-node price of the dedicated
+	// low-bandwidth tree network that carries collectives and small
+	// messages (§2.4).
+	CollectiveNodeCost float64
+}
+
+// DefaultParams returns the parameter set used throughout the repository:
+// a 16-port block and a 10:1 active:passive port cost ratio.
+func DefaultParams() Params {
+	return Params{
+		BlockSize:          DefaultBlockSize,
+		ActivePortCost:     100,
+		PassivePortCost:    10,
+		NICCost:            50,
+		CollectiveNodeCost: 20,
+	}
+}
+
+func (p Params) validate() error {
+	if p.BlockSize < 4 {
+		return fmt.Errorf("hfast: block size must be ≥ 4, got %d", p.BlockSize)
+	}
+	return nil
+}
+
+// BlocksForDegree is the paper's linear-time sizing rule: a node whose
+// thresholded TDC fits the block's non-uplink ports gets one block;
+// otherwise enough blocks are chained into a tree to expose deg partner
+// ports. Each extra block spends one port linking to the tree and one at
+// its parent, so it nets blockSize−2 new leaf ports.
+func BlocksForDegree(deg, blockSize int) int {
+	if deg < 0 {
+		panic(fmt.Sprintf("hfast: negative degree %d", deg))
+	}
+	if deg == 0 {
+		// An idle node still gets its block so topology can be
+		// re-provisioned without re-cabling.
+		return 1
+	}
+	if deg <= blockSize-1 {
+		return 1
+	}
+	// Port accounting for any n-block tree: n·blockSize ports serve one
+	// node uplink, 2(n−1) internal link endpoints, and deg partner ports,
+	// so n = ceil((deg−1)/(blockSize−2)) blocks suffice (deepening the
+	// tree as needed to respect per-block fan-out).
+	per := blockSize - 2
+	return (deg - 1 + per - 1) / per
+}
+
+// maxTwoLevel is the largest partner count a root block plus direct child
+// blocks can expose before a third tree level is needed.
+func maxTwoLevel(blockSize int) int {
+	return (blockSize - 1) + (blockSize-1)*(blockSize-2)
+}
+
+// PartnerDepth is the number of switch blocks a connection to the k-th of
+// a node's deg partners traverses inside the node's own tree (1 when it
+// lands on the root block, 2 on a child block, ...).
+func PartnerDepth(k, deg, blockSize int) int {
+	if k < 0 || k >= deg {
+		panic(fmt.Sprintf("hfast: partner index %d out of range [0,%d)", k, deg))
+	}
+	// Rebuild the tree the way Wire lays it out: blocks attach to the
+	// earliest free slot, then partners fill the remaining slots in depth
+	// order. depths[d] counts free slots at block depth d+1.
+	nblocks := BlocksForDegree(deg, blockSize)
+	depths := []int{blockSize - 1}
+	for b := 1; b < nblocks; b++ {
+		for d := 0; ; d++ {
+			if d == len(depths) {
+				panic("hfast: block tree ran out of slots")
+			}
+			if depths[d] > 0 {
+				depths[d]--
+				if d+1 == len(depths) {
+					depths = append(depths, 0)
+				}
+				depths[d+1] += blockSize - 1
+				break
+			}
+		}
+	}
+	cum := 0
+	for d, c := range depths {
+		cum += c
+		if k < cum {
+			return d + 1
+		}
+	}
+	panic(fmt.Sprintf("hfast: partner %d does not fit %d blocks of size %d", k, nblocks, blockSize))
+}

@@ -1,0 +1,129 @@
+package hfast
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// SettleTime is the circuit-switch reconfiguration latency the paper
+// quotes for MEMS optical switches: on the order of milliseconds per
+// batch, during which no traffic may cross the moving light paths.
+const SettleTime = 5 * time.Millisecond
+
+// ReconfigReport summarizes one incremental topology adjustment.
+type ReconfigReport struct {
+	// Added and Removed are provisioned partner edges that changed.
+	Added, Removed int
+	// PortMoves is the number of circuit connections re-pointed (two
+	// endpoints per changed edge, plus tree growth/shrink rewires).
+	PortMoves int
+	// BlocksDelta is the change in assigned active switch blocks.
+	BlocksDelta int
+	// Settle is the modeled reconfiguration stall (one settling batch;
+	// the application is quiesced at a synchronization point meanwhile).
+	Settle time.Duration
+}
+
+// Fabric is a reconfigurable HFAST installation: a block pool plus a
+// current provisioned topology that can be incrementally adjusted at
+// synchronization points as traffic measurements accumulate (§2.3).
+type Fabric struct {
+	params  Params
+	procs   int
+	current *Assignment
+	// history accumulates reconfiguration effort.
+	batches   int
+	portMoves int
+}
+
+// NewFabric creates a fabric for procs nodes, initially provisioned as the
+// densely-packed 3D mesh the paper describes as HFAST's startup topology.
+func NewFabric(procs int, params Params) (*Fabric, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if procs <= 0 {
+		return nil, fmt.Errorf("hfast: fabric needs positive node count, got %d", procs)
+	}
+	mesh, err := meshtorus.New(meshtorus.NearCube(procs, 3), false)
+	if err != nil {
+		return nil, fmt.Errorf("hfast: initial mesh: %w", err)
+	}
+	g := topology.NewGraph(procs)
+	for _, e := range mesh.Edges() {
+		// Mesh links are provisioned at full bandwidth: mark them above
+		// any realistic threshold.
+		g.AddTraffic(e[0], e[1], 1, 1<<20, 1<<20)
+	}
+	a, err := Assign(g, 1, params.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{params: params, procs: procs, current: a}
+	return f, nil
+}
+
+// Current returns the provisioned assignment.
+func (f *Fabric) Current() *Assignment { return f.current }
+
+// Params returns the fabric parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// Batches and PortMoves report cumulative reconfiguration effort.
+func (f *Fabric) Batches() int   { return f.batches }
+func (f *Fabric) PortMoves() int { return f.portMoves }
+
+// edgeSet collects an assignment's provisioned edges.
+func edgeSet(a *Assignment) map[[2]int]bool {
+	s := make(map[[2]int]bool)
+	for i := 0; i < a.P; i++ {
+		for _, j := range a.Partners[i] {
+			if j > i {
+				s[[2]int{i, j}] = true
+			}
+		}
+	}
+	return s
+}
+
+// Reconfigure adapts the fabric to a measured communication graph at the
+// given cutoff, returning the incremental effort. The application is
+// assumed to be quiesced at a synchronization point for the settling
+// batch, since in-flight traffic would be corrupted by moving circuits.
+func (f *Fabric) Reconfigure(g *topology.Graph, cutoff int) (ReconfigReport, error) {
+	if g.P != f.procs {
+		return ReconfigReport{}, fmt.Errorf("hfast: graph has %d ranks but fabric has %d nodes", g.P, f.procs)
+	}
+	next, err := Assign(g, cutoff, f.params.BlockSize)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	old := edgeSet(f.current)
+	new_ := edgeSet(next)
+	rep := ReconfigReport{Settle: SettleTime}
+	for e := range new_ {
+		if !old[e] {
+			rep.Added++
+		}
+	}
+	for e := range old {
+		if !new_[e] {
+			rep.Removed++
+		}
+	}
+	// Each changed edge re-points its two endpoint circuits; block pool
+	// changes rewire one uplink per block.
+	rep.BlocksDelta = next.TotalBlocks - f.current.TotalBlocks
+	delta := rep.BlocksDelta
+	if delta < 0 {
+		delta = -delta
+	}
+	rep.PortMoves = 2*(rep.Added+rep.Removed) + delta
+	f.current = next
+	f.batches++
+	f.portMoves += rep.PortMoves
+	return rep, nil
+}

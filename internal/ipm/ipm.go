@@ -1,0 +1,210 @@
+// Package ipm reimplements the collection model of IPM (Integrated
+// Performance Monitoring), the MPI profiling layer the paper uses to gather
+// application communication characteristics with low overhead.
+//
+// Like IPM, the collector keeps a bounded hash of statistics keyed by the
+// unique argument signature of each communication call — (call, buffer
+// size, partner rank) — plus the enclosing code region, so initialization
+// traffic can be separated from steady-state communication (the paper uses
+// this to discard SuperLU's input-matrix distribution). When the hash
+// reaches its capacity the collector coarsens keys by rounding buffer sizes
+// to powers of two, and as a last resort folds entries into a per-call
+// catch-all bucket, preserving IPM's fixed memory footprint guarantee.
+//
+// A CollectorSet plugs into the mpi runtime as a tracer factory; after the
+// world finishes, Profile() assembles the per-rank hashes into a Profile
+// that the topology and analysis packages consume.
+package ipm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+// DefaultHashCap is the default number of distinct signatures retained per
+// rank before key coarsening begins, mirroring IPM's fixed-size table.
+const DefaultHashCap = 8192
+
+// Key is the unique signature of a communication call, IPM's hash key.
+type Key struct {
+	// Call is the profiled entry point.
+	Call mpi.Call
+	// Bytes is the per-call buffer size in bytes.
+	Bytes int
+	// Peer is the partner world rank, or mpi.NoPeer.
+	Peer int
+	// Region is the enclosing code region name ("" outside any region).
+	Region string
+}
+
+// Stat accumulates the observations for one Key.
+type Stat struct {
+	// Count is the number of calls with this signature.
+	Count int64
+	// TotalBytes is Count × buffer size (kept explicitly because key
+	// coarsening can merge entries of different sizes).
+	TotalBytes int64
+	// MaxBytes is the largest single buffer folded into this entry.
+	MaxBytes int
+	// Time is the modeled seconds spent in calls with this signature
+	// (zero when the runtime has no cost model). As in IPM, blocking time
+	// is charged to the call that observed it.
+	Time float64
+}
+
+// Collector gathers events for a single rank. It implements mpi.Tracer.
+type Collector struct {
+	rank    int
+	cap     int
+	entries map[Key]*Stat
+	spilled int64   // events that required catch-all folding
+	lastT   float64 // previous event's virtual clock, for time attribution
+}
+
+// NewCollector creates a collector for one rank with the given hash
+// capacity (DefaultHashCap if cap <= 0).
+func NewCollector(rank, capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultHashCap
+	}
+	return &Collector{
+		rank:    rank,
+		cap:     capacity,
+		entries: make(map[Key]*Stat),
+	}
+}
+
+// Event records one communication event; it is called by the mpi runtime
+// from the rank's goroutine.
+func (c *Collector) Event(e mpi.Event) {
+	if e.Call == mpi.CallRegionBegin || e.Call == mpi.CallRegionEnd {
+		c.lastT = e.T
+		return
+	}
+	var dt float64
+	if e.T > c.lastT {
+		dt = e.T - c.lastT
+		c.lastT = e.T
+	}
+	key := Key{Call: e.Call, Bytes: e.Bytes, Peer: e.Peer, Region: e.Region}
+	if st, ok := c.entries[key]; ok {
+		st.Count++
+		st.TotalBytes += int64(e.Bytes)
+		st.Time += dt
+		return
+	}
+	if len(c.entries) >= c.cap {
+		// Coarsen: round the size to its power-of-two bucket.
+		key.Bytes = pow2Bucket(e.Bytes)
+		if st, ok := c.entries[key]; ok {
+			st.Count++
+			st.TotalBytes += int64(e.Bytes)
+			st.Time += dt
+			if e.Bytes > st.MaxBytes {
+				st.MaxBytes = e.Bytes
+			}
+			return
+		}
+		// Catch-all: per-call bucket with no peer.
+		key = Key{Call: e.Call, Bytes: -1, Peer: mpi.NoPeer, Region: e.Region}
+		c.spilled++
+		if st, ok := c.entries[key]; ok {
+			st.Count++
+			st.TotalBytes += int64(e.Bytes)
+			st.Time += dt
+			if e.Bytes > st.MaxBytes {
+				st.MaxBytes = e.Bytes
+			}
+			return
+		}
+		// The catch-all itself still fits: it adds at most one entry per
+		// (call, region) pair.
+	}
+	c.entries[key] = &Stat{Count: 1, TotalBytes: int64(e.Bytes), MaxBytes: e.Bytes, Time: dt}
+}
+
+// pow2Bucket rounds n up to the nearest power of two (0 stays 0).
+func pow2Bucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// CollectorSet builds one Collector per rank and assembles their output.
+type CollectorSet struct {
+	mu         sync.Mutex
+	capacity   int
+	collectors map[int]*Collector
+}
+
+// NewCollectorSet creates a set with the given per-rank hash capacity
+// (DefaultHashCap if capacity <= 0).
+func NewCollectorSet(capacity int) *CollectorSet {
+	return &CollectorSet{
+		capacity:   capacity,
+		collectors: make(map[int]*Collector),
+	}
+}
+
+// Factory is the mpi.TracerFactory to install on the world.
+func (s *CollectorSet) Factory(rank int) mpi.Tracer {
+	c := NewCollector(rank, s.capacity)
+	s.mu.Lock()
+	s.collectors[rank] = c
+	s.mu.Unlock()
+	return c
+}
+
+// Profile assembles the collected per-rank hashes. Call it only after
+// World.Run has returned.
+func (s *CollectorSet) Profile(app string, procs int, params map[string]int) *Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Profile{
+		App:    app,
+		Procs:  procs,
+		Params: params,
+		Ranks:  make([]RankProfile, 0, len(s.collectors)),
+	}
+	ranks := make([]int, 0, len(s.collectors))
+	for r := range s.collectors {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		c := s.collectors[r]
+		rp := RankProfile{Rank: r, Spilled: c.spilled}
+		for k, st := range c.entries {
+			rp.Entries = append(rp.Entries, Entry{Key: k, Stat: *st})
+		}
+		sort.Slice(rp.Entries, func(i, j int) bool { return rp.Entries[i].Key.less(rp.Entries[j].Key) })
+		p.Ranks = append(p.Ranks, rp)
+	}
+	return p
+}
+
+func (k Key) less(o Key) bool {
+	if k.Call != o.Call {
+		return k.Call < o.Call
+	}
+	if k.Region != o.Region {
+		return k.Region < o.Region
+	}
+	if k.Peer != o.Peer {
+		return k.Peer < o.Peer
+	}
+	return k.Bytes < o.Bytes
+}
+
+// String renders the key in an IPM-report style.
+func (k Key) String() string {
+	return fmt.Sprintf("%s[%db->%d @%q]", k.Call, k.Bytes, k.Peer, k.Region)
+}

@@ -1,0 +1,304 @@
+package ipm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+func profileRun(t *testing.T, p int, capacity int, fn func(*mpi.Comm)) *Profile {
+	t.Helper()
+	set := NewCollectorSet(capacity)
+	w := mpi.NewWorld(p,
+		mpi.WithTimeout(30*time.Second),
+		mpi.WithTracerFactory(set.Factory))
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+	return set.Profile("test", p, nil)
+}
+
+func TestCallCountsAggregation(t *testing.T) {
+	p := profileRun(t, 2, 0, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				c.Send(1, 1, mpi.Size(64))
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				c.Recv(0, 1)
+			}
+		}
+		c.Barrier()
+	})
+	counts := p.CallCounts(AllRegions)
+	if counts[mpi.CallSend] != 3 {
+		t.Errorf("sends: got %d want 3", counts[mpi.CallSend])
+	}
+	if counts[mpi.CallRecv] != 3 {
+		t.Errorf("recvs: got %d want 3", counts[mpi.CallRecv])
+	}
+	if counts[mpi.CallBarrier] != 2 {
+		t.Errorf("barriers: got %d want 2", counts[mpi.CallBarrier])
+	}
+}
+
+func TestHashDedup(t *testing.T) {
+	// 100 identical sends must occupy one hash entry.
+	p := profileRun(t, 2, 0, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				c.Send(1, 1, mpi.Size(4096))
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	})
+	rank0 := p.Ranks[0]
+	sendEntries := 0
+	for _, e := range rank0.Entries {
+		if e.Key.Call == mpi.CallSend {
+			sendEntries++
+			if e.Stat.Count != 100 || e.Stat.TotalBytes != 100*4096 {
+				t.Errorf("bad send stat %+v", e.Stat)
+			}
+		}
+	}
+	if sendEntries != 1 {
+		t.Errorf("identical sends spread over %d entries", sendEntries)
+	}
+}
+
+func TestRegionSeparation(t *testing.T) {
+	p := profileRun(t, 2, 0, func(c *mpi.Comm) {
+		c.RegionBegin("init")
+		if c.Rank() == 0 {
+			c.Send(1, 1, mpi.Size(1<<20))
+		} else {
+			c.Recv(0, 1)
+		}
+		c.RegionEnd()
+		c.RegionBegin("steady")
+		if c.Rank() == 0 {
+			c.Send(1, 1, mpi.Size(128))
+		} else {
+			c.Recv(0, 1)
+		}
+		c.RegionEnd()
+	})
+	all := p.TotalCalls(AllRegions)
+	steady := p.TotalCalls(SteadyState)
+	initOnly := p.TotalCalls(Region("init"))
+	if all != steady+initOnly {
+		t.Errorf("region partition broken: all=%d steady=%d init=%d", all, steady, initOnly)
+	}
+	sizes := p.PTPSizes(SteadyState)
+	for _, sc := range sizes {
+		if sc.Bytes == 1<<20 {
+			t.Error("init traffic leaked into steady-state histogram")
+		}
+	}
+}
+
+func TestPairsDirectedTraffic(t *testing.T) {
+	p := profileRun(t, 3, 0, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, mpi.Size(1000))
+			c.Send(1, 1, mpi.Size(3000))
+			c.Send(2, 1, mpi.Size(500))
+		case 1:
+			c.Recv(0, 1)
+			c.Recv(0, 1)
+		case 2:
+			c.Recv(0, 1)
+		}
+	})
+	pairs := p.Pairs(AllRegions)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %+v", len(pairs), pairs)
+	}
+	p01 := pairs[0]
+	if p01.Src != 0 || p01.Dst != 1 || p01.Msgs != 2 || p01.Bytes != 4000 || p01.MaxMsg != 3000 {
+		t.Errorf("bad pair 0->1: %+v", p01)
+	}
+}
+
+func TestHashOverflowCoarsens(t *testing.T) {
+	// Capacity 4 forces coarsening: all events must still be counted.
+	const sends = 64
+	p := profileRun(t, 2, 4, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < sends; i++ {
+				c.Send(1, 1, mpi.Size(1000+i)) // all distinct sizes
+			}
+		} else {
+			for i := 0; i < sends; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	})
+	counts := p.CallCounts(AllRegions)
+	if counts[mpi.CallSend] != sends {
+		t.Errorf("coarsening lost events: %d != %d", counts[mpi.CallSend], sends)
+	}
+	if len(p.Ranks[0].Entries) > 8 {
+		t.Errorf("hash grew past coarsened capacity: %d entries", len(p.Ranks[0].Entries))
+	}
+	// Total bytes preserved exactly.
+	var total int64
+	for _, e := range p.Ranks[0].Entries {
+		if e.Key.Call == mpi.CallSend {
+			total += e.Stat.TotalBytes
+		}
+	}
+	var want int64
+	for i := 0; i < sends; i++ {
+		want += int64(1000 + i)
+	}
+	if total != want {
+		t.Errorf("coarsening lost bytes: %d != %d", total, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := profileRun(t, 2, 0, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, mpi.Size(2048))
+		} else {
+			c.Recv(0, 1)
+		}
+	})
+	p.Params = map[string]int{"steps": 5}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != p.App || got.Procs != p.Procs || got.Params["steps"] != 5 {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if got.TotalCalls(AllRegions) != p.TotalCalls(AllRegions) {
+		t.Error("entry counts lost in round trip")
+	}
+	if len(got.Pairs(AllRegions)) != len(p.Pairs(AllRegions)) {
+		t.Error("pairs lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestPow2Bucket(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := pow2Bucket(in); got != want {
+			t.Errorf("pow2Bucket(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPow2BucketQuick(t *testing.T) {
+	f := func(n uint16) bool {
+		b := pow2Bucket(int(n))
+		if n == 0 {
+			return b == 0
+		}
+		// b is a power of two, >= n, and b/2 < n.
+		return b&(b-1) == 0 && b >= int(n) && (b == 1 || b/2 < int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeHistogramSorted(t *testing.T) {
+	p := profileRun(t, 2, 0, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for _, s := range []int{900, 100, 500, 100} {
+				c.Send(1, 1, mpi.Size(s))
+			}
+		} else {
+			for i := 0; i < 4; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	})
+	hist := p.PTPSizes(AllRegions)
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Bytes <= hist[i-1].Bytes {
+			t.Fatalf("histogram not sorted: %+v", hist)
+		}
+	}
+	if hist[0].Bytes != 100 || hist[0].Count != 2 {
+		t.Errorf("bad first bucket %+v", hist[0])
+	}
+}
+
+func TestCollectiveSizes(t *testing.T) {
+	p := profileRun(t, 4, 0, func(c *mpi.Comm) {
+		c.Allreduce(make([]float64, 2), mpi.OpSum) // 16 bytes
+		b := mpi.Buf{}
+		if c.Rank() == 0 {
+			b = mpi.Data(make([]byte, 24))
+		}
+		c.Bcast(0, &b)
+	})
+	hist := p.CollectiveSizes(AllRegions)
+	bySize := map[int]int64{}
+	for _, sc := range hist {
+		bySize[sc.Bytes] = sc.Count
+	}
+	if bySize[16] != 4 {
+		t.Errorf("allreduce sizes: %+v", hist)
+	}
+	if bySize[24] != 4 {
+		t.Errorf("bcast sizes: %+v", hist)
+	}
+}
+
+func TestCommTimeAttribution(t *testing.T) {
+	set := NewCollectorSet(0)
+	w := mpi.NewWorld(2,
+		mpi.WithTimeout(30*time.Second),
+		mpi.WithCostModel(mpi.DefaultCostModel()),
+		mpi.WithTracerFactory(set.Factory))
+	err := w.Run(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, mpi.Size(1<<20))
+		} else {
+			c.Recv(0, 1)
+		}
+		c.Allreduce([]float64{1}, mpi.OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := set.Profile("timed", 2, nil)
+	total := p.CommTime(AllRegions)
+	if total <= 0 {
+		t.Fatal("no communication time attributed")
+	}
+	byCall := p.TimeByCall(AllRegions)
+	// The 1MB transfer dominates: the receive (which blocks for it) and
+	// the send (occupancy) should each exceed the allreduce time.
+	m := mpi.DefaultCostModel()
+	transfer := float64(1<<20) / m.Bandwidth
+	if byCall[mpi.CallRecv] < transfer {
+		t.Errorf("recv time %g below transfer %g", byCall[mpi.CallRecv], transfer)
+	}
+	if byCall[mpi.CallSend] < transfer {
+		t.Errorf("send time %g below transfer %g", byCall[mpi.CallSend], transfer)
+	}
+}

@@ -1,0 +1,216 @@
+package ipm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+// Entry is one (signature, statistics) pair in a rank's hash.
+type Entry struct {
+	Key  Key
+	Stat Stat
+}
+
+// RankProfile is the collected hash of a single rank.
+type RankProfile struct {
+	// Rank is the world rank.
+	Rank int
+	// Entries are the hash contents, sorted by key.
+	Entries []Entry
+	// Spilled counts events folded into catch-all buckets.
+	Spilled int64
+}
+
+// Profile is the merged communication profile of one application run.
+type Profile struct {
+	// App is the application skeleton name (e.g. "cactus").
+	App string
+	// Procs is the number of ranks.
+	Procs int
+	// Params records the workload parameters the run used.
+	Params map[string]int
+	// Ranks holds the per-rank hashes, sorted by rank.
+	Ranks []RankProfile
+}
+
+// RegionFilter selects entries by region when scanning a profile.
+type RegionFilter func(region string) bool
+
+// AllRegions matches every region including code outside regions.
+func AllRegions(string) bool { return true }
+
+// Region matches exactly one region name.
+func Region(name string) RegionFilter {
+	return func(r string) bool { return r == name }
+}
+
+// SteadyState matches everything except the conventional "init" region,
+// reproducing the paper's exclusion of initialization traffic.
+func SteadyState(r string) bool { return r != "init" }
+
+// Visit walks every entry of every rank that passes the filter.
+func (p *Profile) Visit(filter RegionFilter, fn func(rank int, e Entry)) {
+	if filter == nil {
+		filter = AllRegions
+	}
+	for i := range p.Ranks {
+		rp := &p.Ranks[i]
+		for _, e := range rp.Entries {
+			if filter(e.Key.Region) {
+				fn(rp.Rank, e)
+			}
+		}
+	}
+}
+
+// CallCounts aggregates call counts across ranks for entries passing the
+// filter.
+func (p *Profile) CallCounts(filter RegionFilter) map[mpi.Call]int64 {
+	out := make(map[mpi.Call]int64)
+	p.Visit(filter, func(_ int, e Entry) {
+		out[e.Key.Call] += e.Stat.Count
+	})
+	return out
+}
+
+// SizeCount is one point of a buffer-size histogram.
+type SizeCount struct {
+	// Bytes is the buffer size.
+	Bytes int
+	// Count is how many calls used it.
+	Count int64
+}
+
+// sizeHistogram accumulates per-size counts for calls matching pred.
+func (p *Profile) sizeHistogram(filter RegionFilter, pred func(mpi.Call) bool) []SizeCount {
+	acc := make(map[int]int64)
+	p.Visit(filter, func(_ int, e Entry) {
+		if pred(e.Key.Call) {
+			acc[e.Key.Bytes] += e.Stat.Count
+		}
+	})
+	out := make([]SizeCount, 0, len(acc))
+	for b, c := range acc {
+		out = append(out, SizeCount{Bytes: b, Count: c})
+	}
+	sortSizeCounts(out)
+	return out
+}
+
+func sortSizeCounts(s []SizeCount) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Bytes < s[j].Bytes })
+}
+
+// PTPSizes returns the histogram of point-to-point send buffer sizes
+// (MPI_Send, MPI_Isend, MPI_Sendrecv), the basis of the paper's Figure 4.
+func (p *Profile) PTPSizes(filter RegionFilter) []SizeCount {
+	return p.sizeHistogram(filter, mpi.Call.IsPointToPoint)
+}
+
+// CollectiveSizes returns the histogram of collective payload sizes, the
+// basis of the paper's Figure 3.
+func (p *Profile) CollectiveSizes(filter RegionFilter) []SizeCount {
+	return p.sizeHistogram(filter, mpi.Call.IsCollective)
+}
+
+// PairTraffic describes the point-to-point traffic from one rank to one
+// partner.
+type PairTraffic struct {
+	// Src and Dst are world ranks (Src is the sender).
+	Src, Dst int
+	// Msgs is the number of messages sent.
+	Msgs int64
+	// Bytes is the total payload.
+	Bytes int64
+	// MaxMsg is the largest single message.
+	MaxMsg int
+}
+
+// Pairs extracts directed point-to-point traffic for entries passing the
+// filter. Catch-all entries (no peer) are skipped.
+func (p *Profile) Pairs(filter RegionFilter) []PairTraffic {
+	type pk struct{ src, dst int }
+	acc := make(map[pk]*PairTraffic)
+	p.Visit(filter, func(rank int, e Entry) {
+		if !e.Key.Call.IsPointToPoint() || e.Key.Peer == mpi.NoPeer {
+			return
+		}
+		k := pk{src: rank, dst: e.Key.Peer}
+		pt, ok := acc[k]
+		if !ok {
+			pt = &PairTraffic{Src: rank, Dst: e.Key.Peer}
+			acc[k] = pt
+		}
+		pt.Msgs += e.Stat.Count
+		pt.Bytes += e.Stat.TotalBytes
+		max := e.Key.Bytes
+		if e.Stat.MaxBytes > max {
+			max = e.Stat.MaxBytes
+		}
+		if max > pt.MaxMsg {
+			pt.MaxMsg = max
+		}
+	})
+	out := make([]PairTraffic, 0, len(acc))
+	for _, pt := range acc {
+		out = append(out, *pt)
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []PairTraffic) {
+	sort.Slice(ps, func(i, j int) bool { return pairLess(ps[i], ps[j]) })
+}
+
+func pairLess(a, b PairTraffic) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// TotalCalls returns the number of communication calls passing the filter.
+func (p *Profile) TotalCalls(filter RegionFilter) int64 {
+	var n int64
+	p.Visit(filter, func(_ int, e Entry) { n += e.Stat.Count })
+	return n
+}
+
+// CommTime returns the total modeled seconds spent in communication calls
+// passing the filter, summed over ranks (0 when profiling ran without a
+// cost model).
+func (p *Profile) CommTime(filter RegionFilter) float64 {
+	var t float64
+	p.Visit(filter, func(_ int, e Entry) { t += e.Stat.Time })
+	return t
+}
+
+// TimeByCall aggregates modeled communication time per call type.
+func (p *Profile) TimeByCall(filter RegionFilter) map[mpi.Call]float64 {
+	out := make(map[mpi.Call]float64)
+	p.Visit(filter, func(_ int, e Entry) {
+		out[e.Key.Call] += e.Stat.Time
+	})
+	return out
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ipm: decoding profile: %w", err)
+	}
+	return &p, nil
+}

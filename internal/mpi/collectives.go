@@ -1,0 +1,362 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// collCtx allocates the matching context for the next collective call.
+// Collectives must be invoked in the same order by every member rank, so
+// the per-rank sequence numbers agree and the contexts line up.
+func (c *Comm) collCtx() int64 {
+	c.collSeq++
+	return int64(c.id)<<32 | int64(c.collSeq)
+}
+
+// Tag namespaces inside one collective context.
+const (
+	tagBarrier Tag = 1 << 20
+	tagBcast   Tag = 2 << 20
+	tagReduce  Tag = 3 << 20
+	tagGather  Tag = 4 << 20
+	tagRing    Tag = 5 << 20
+	tagPair    Tag = 6 << 20
+	tagScatter Tag = 7 << 20
+	tagScan    Tag = 8 << 20
+)
+
+func encodeFloats(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeFloats(b []byte) []float64 {
+	vals := make([]float64, len(b)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
+func encodeInts(vals []int) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+func decodeInts(b []byte) []int {
+	vals := make([]int, len(b)/8)
+	for i := range vals {
+		vals[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return vals
+}
+
+// Barrier blocks until every rank of the communicator has entered it,
+// using a dissemination exchange.
+func (c *Comm) Barrier() {
+	ctx := c.collCtx()
+	n := len(c.group)
+	r := c.rank
+	for k := 1; k < n; k <<= 1 {
+		dst := (r + k) % n
+		src := (r - k%n + n) % n
+		req := c.recvRaw(src, tagBarrier+Tag(k), ctx)
+		c.sendRaw(dst, tagBarrier+Tag(k), ctx, Buf{})
+		req.wait()
+	}
+	c.collAdvance(CallBarrier, 0)
+	c.trace(CallBarrier, NoPeer, 0)
+}
+
+// bcast runs a binomial-tree broadcast from root inside ctx.
+func (c *Comm) bcast(ctx int64, root int, b *Buf) {
+	n := len(c.group)
+	c.checkRank(root)
+	rel := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % n
+			st := c.recvRaw(src, tagBcast+Tag(mask), ctx).wait()
+			*b = Buf{N: st.N, Data: st.Data}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			c.sendRaw(dst, tagBcast+Tag(mask), ctx, *b)
+		}
+		mask >>= 1
+	}
+}
+
+// Bcast broadcasts *b from root to every rank of the communicator. On
+// non-root ranks b is overwritten with the root's buffer.
+func (c *Comm) Bcast(root int, b *Buf) {
+	ctx := c.collCtx()
+	c.bcast(ctx, root, b)
+	c.collAdvance(CallBcast, b.N)
+	c.trace(CallBcast, c.group[root], b.N)
+}
+
+// reduce combines vals across ranks with op using a binomial tree rooted at
+// root, returning the result on root and nil elsewhere.
+func (c *Comm) reduce(ctx int64, root int, vals []float64, op Op) []float64 {
+	n := len(c.group)
+	c.checkRank(root)
+	rel := (c.rank - root + n) % n
+	acc := append([]float64(nil), vals...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask == 0 {
+			src := rel | mask
+			if src < n {
+				st := c.recvRaw((src+root)%n, tagReduce+Tag(mask), ctx).wait()
+				op.apply(acc, decodeFloats(st.Data))
+			}
+		} else {
+			dst := rel &^ mask
+			c.sendRaw((dst+root)%n, tagReduce+Tag(mask), ctx, Data(encodeFloats(acc)))
+			acc = nil
+			break
+		}
+	}
+	return acc
+}
+
+// Reduce combines vals element-wise across ranks with op. The root rank
+// receives the result; every other rank receives nil.
+func (c *Comm) Reduce(root int, vals []float64, op Op) []float64 {
+	ctx := c.collCtx()
+	res := c.reduce(ctx, root, vals, op)
+	c.collAdvance(CallReduce, 8*len(vals))
+	c.trace(CallReduce, c.group[root], 8*len(vals))
+	return res
+}
+
+// Allreduce combines vals element-wise across ranks with op and returns
+// the result on every rank.
+func (c *Comm) Allreduce(vals []float64, op Op) []float64 {
+	ctx := c.collCtx()
+	res := c.reduce(ctx, 0, vals, op)
+	var b Buf
+	if c.rank == 0 {
+		b = Data(encodeFloats(res))
+	}
+	c.bcast(ctx, 0, &b)
+	out := decodeFloats(b.Data)
+	c.collAdvance(CallAllreduce, 8*len(vals))
+	c.trace(CallAllreduce, NoPeer, 8*len(vals))
+	return out
+}
+
+// Gather collects one buffer from every rank at root. Root receives a
+// slice indexed by comm rank (its own entry included); other ranks receive
+// nil.
+func (c *Comm) Gather(root int, b Buf) []Buf {
+	ctx := c.collCtx()
+	c.checkRank(root)
+	var res []Buf
+	if c.rank == root {
+		res = make([]Buf, len(c.group))
+		res[root] = b
+		for r := 0; r < len(c.group); r++ {
+			if r == root {
+				continue
+			}
+			st := c.recvRaw(r, tagGather+Tag(r), ctx).wait()
+			res[r] = Buf{N: st.N, Data: st.Data}
+		}
+	} else {
+		c.sendRaw(root, tagGather+Tag(c.rank), ctx, b)
+	}
+	c.collAdvance(CallGather, b.N)
+	c.trace(CallGather, c.group[root], b.N)
+	return res
+}
+
+// allgatherBufs runs a ring allgather inside ctx.
+func (c *Comm) allgatherBufs(ctx int64, b Buf) []Buf {
+	n := len(c.group)
+	r := c.rank
+	res := make([]Buf, n)
+	res[r] = b
+	for i := 1; i < n; i++ {
+		dst := (r + 1) % n
+		src := (r - 1 + n) % n
+		fwd := (r - i + 1 + n) % n
+		req := c.recvRaw(src, tagRing+Tag(i), ctx)
+		c.sendRaw(dst, tagRing+Tag(i), ctx, res[fwd])
+		st := req.wait()
+		res[(r-i+n)%n] = Buf{N: st.N, Data: st.Data}
+	}
+	return res
+}
+
+// Allgather collects one buffer from every rank on every rank, indexed by
+// comm rank.
+func (c *Comm) Allgather(b Buf) []Buf {
+	ctx := c.collCtx()
+	res := c.allgatherBufs(ctx, b)
+	c.collAdvance(CallAllgather, b.N)
+	c.trace(CallAllgather, NoPeer, b.N)
+	return res
+}
+
+// allgatherInts exchanges a fixed-length int vector; used by Split.
+func (c *Comm) allgatherInts(ctx int64, vals []int) []int {
+	bufs := c.allgatherBufs(ctx, Data(encodeInts(vals)))
+	out := make([]int, 0, len(vals)*len(bufs))
+	for _, b := range bufs {
+		got := decodeInts(b.Data)
+		if len(got) != len(vals) {
+			panic(fmt.Sprintf("mpi: allgather length mismatch: %d != %d", len(got), len(vals)))
+		}
+		out = append(out, got...)
+	}
+	return out
+}
+
+// Scatter distributes bufs[r] from root to each rank r, returning the
+// caller's piece. Only root's bufs argument is consulted.
+func (c *Comm) Scatter(root int, bufs []Buf) Buf {
+	ctx := c.collCtx()
+	c.checkRank(root)
+	var mine Buf
+	if c.rank == root {
+		if len(bufs) != len(c.group) {
+			panic(fmt.Sprintf("mpi: Scatter needs %d buffers, got %d", len(c.group), len(bufs)))
+		}
+		mine = bufs[root]
+		for r := 0; r < len(c.group); r++ {
+			if r == root {
+				continue
+			}
+			c.sendRaw(r, tagScatter+Tag(r), ctx, bufs[r])
+		}
+	} else {
+		st := c.recvRaw(root, tagScatter+Tag(c.rank), ctx).wait()
+		mine = Buf{N: st.N, Data: st.Data}
+	}
+	c.collAdvance(CallScatter, mine.N)
+	c.trace(CallScatter, c.group[root], mine.N)
+	return mine
+}
+
+// alltoall exchanges bufs pairwise: rank r sends bufs[d] to d and returns
+// the pieces received, indexed by source rank.
+func (c *Comm) alltoall(ctx int64, bufs []Buf) []Buf {
+	n := len(c.group)
+	if len(bufs) != n {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d buffers, got %d", n, len(bufs)))
+	}
+	r := c.rank
+	res := make([]Buf, n)
+	res[r] = bufs[r]
+	for i := 1; i < n; i++ {
+		dst := (r + i) % n
+		src := (r - i + n) % n
+		req := c.recvRaw(src, tagPair+Tag(i), ctx)
+		c.sendRaw(dst, tagPair+Tag(i), ctx, bufs[dst])
+		st := req.wait()
+		res[src] = Buf{N: st.N, Data: st.Data}
+	}
+	return res
+}
+
+// Alltoall performs an all-to-all personalized exchange of equal-size
+// pieces.
+func (c *Comm) Alltoall(bufs []Buf) []Buf {
+	ctx := c.collCtx()
+	res := c.alltoall(ctx, bufs)
+	total := 0
+	for _, b := range bufs {
+		total += b.N
+	}
+	c.collAdvance(CallAlltoall, total/len(c.group))
+	c.trace(CallAlltoall, NoPeer, total)
+	return res
+}
+
+// Alltoallv performs an all-to-all personalized exchange where each piece
+// may have a different size (including zero).
+func (c *Comm) Alltoallv(bufs []Buf) []Buf {
+	ctx := c.collCtx()
+	res := c.alltoall(ctx, bufs)
+	total := 0
+	for _, b := range bufs {
+		total += b.N
+	}
+	c.collAdvance(CallAlltoallv, total/len(c.group))
+	c.trace(CallAlltoallv, NoPeer, total)
+	return res
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(vals₀, …, valsᵣ). Implemented as a rank chain, which matches the
+// operation's inherent dependence structure.
+func (c *Comm) Scan(vals []float64, op Op) []float64 {
+	ctx := c.collCtx()
+	acc := append([]float64(nil), vals...)
+	if c.rank > 0 {
+		st := c.recvRaw(c.rank-1, tagScan, ctx).wait()
+		prefix := decodeFloats(st.Data)
+		op.apply(acc, prefix)
+	}
+	if c.rank+1 < len(c.group) {
+		c.sendRaw(c.rank+1, tagScan, ctx, Data(encodeFloats(acc)))
+	}
+	c.collAdvance(CallScan, 8*len(vals))
+	c.trace(CallScan, NoPeer, 8*len(vals))
+	return acc
+}
+
+// ReduceScatter reduces vals element-wise across ranks and scatters the
+// result: rank r receives the slice of length counts[r] beginning at
+// sum(counts[:r]). The counts must sum to len(vals) and be identical on
+// every rank.
+func (c *Comm) ReduceScatter(vals []float64, counts []int, op Op) []float64 {
+	if len(counts) != len(c.group) {
+		panic(fmt.Sprintf("mpi: ReduceScatter needs %d counts, got %d", len(c.group), len(counts)))
+	}
+	total := 0
+	for _, n := range counts {
+		if n < 0 {
+			panic("mpi: ReduceScatter negative count")
+		}
+		total += n
+	}
+	if total != len(vals) {
+		panic(fmt.Sprintf("mpi: ReduceScatter counts sum to %d but vector has %d", total, len(vals)))
+	}
+	ctx := c.collCtx()
+	full := c.reduce(ctx, 0, vals, op)
+	var mine Buf
+	if c.rank == 0 {
+		offset := 0
+		bufs := make([]Buf, len(c.group))
+		for r, n := range counts {
+			bufs[r] = Data(encodeFloats(full[offset : offset+n]))
+			offset += n
+		}
+		mine = bufs[0]
+		for r := 1; r < len(c.group); r++ {
+			c.sendRaw(r, tagScatter, ctx, bufs[r])
+		}
+	} else {
+		st := c.recvRaw(0, tagScatter, ctx).wait()
+		mine = Buf{N: st.N, Data: st.Data}
+	}
+	c.collAdvance(CallReduceScatter, 8*len(vals))
+	c.trace(CallReduceScatter, NoPeer, 8*len(vals))
+	return decodeFloats(mine.Data)
+}

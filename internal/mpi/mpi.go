@@ -1,0 +1,130 @@
+// Package mpi implements an in-process message-passing runtime modeled on
+// the MPI-1 communication interface. Ranks execute as goroutines inside a
+// World and exchange messages through communicators with tag and source
+// matching, nonblocking requests, and the collective operations used by the
+// application skeletons in internal/apps.
+//
+// The runtime exists so that the IPM-style profiling layer (internal/ipm)
+// can observe the exact sequence of communication calls an application
+// makes — call types, buffer sizes, and partner ranks — which is the data
+// the HFAST paper derives every figure and table from. Message payloads are
+// optional: a Buf may carry only a logical byte count, so large transfer
+// patterns can be replayed without materializing gigabytes of data.
+//
+// Semantics follow MPI where it matters for profiling fidelity:
+//
+//   - Point-to-point matching is by (source, tag) with AnySource/AnyTag
+//     wildcards and non-overtaking order per (source, tag) pair.
+//   - Sends use eager delivery: a send completes locally as soon as the
+//     envelope is enqueued at the destination, like a buffered MPI send.
+//   - Collectives must be called by every rank of a communicator in the
+//     same order; they are internally implemented over a reserved context
+//     namespace so they can never match user point-to-point traffic.
+//
+// Usage errors (invalid rank, mismatched collective participation) panic,
+// mirroring an MPI abort; World.Run converts rank panics into an error.
+package mpi
+
+import "fmt"
+
+// Tag identifies a point-to-point message class within a communicator.
+type Tag int
+
+// Wildcards accepted by receive operations.
+const (
+	// AnyTag matches a message with any tag.
+	AnyTag Tag = -1
+	// AnySource matches a message from any source rank.
+	AnySource = -1
+)
+
+// Buf describes a message buffer. N is the logical payload size in bytes.
+// Data optionally carries real bytes (len(Data) == N when non-nil); the
+// application skeletons send size-only buffers while tests exercise real
+// payload delivery.
+type Buf struct {
+	N    int
+	Data []byte
+}
+
+// Size returns a size-only buffer of n logical bytes.
+func Size(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("mpi: negative buffer size %d", n))
+	}
+	return Buf{N: n}
+}
+
+// Data returns a buffer carrying the given payload.
+func Data(b []byte) Buf { return Buf{N: len(b), Data: b} }
+
+// Status reports the outcome of a completed receive.
+type Status struct {
+	// Source is the communicator rank the message came from.
+	Source int
+	// Tag is the message tag.
+	Tag Tag
+	// N is the payload size in bytes.
+	N int
+	// Data is the payload if the sender supplied one, else nil.
+	Data []byte
+	// VTime is the modeled arrival time when the world has a CostModel,
+	// else 0.
+	VTime float64
+}
+
+// Op is a reduction operator for Reduce and Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (op Op) apply(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mpi: reduction length mismatch %d != %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpProd:
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduction op %d", op))
+	}
+}
+
+// String names the operator.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpProd:
+		return "prod"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}

@@ -1,0 +1,86 @@
+package mpi
+
+// probeWaiter is a blocked Probe waiting for a matching envelope to be
+// queued.
+type probeWaiter struct {
+	src int // world rank or AnySource
+	tag Tag
+	ctx int64
+	ch  chan Status
+}
+
+func (p *probeWaiter) matches(e *envelope) bool {
+	if p.ctx != e.ctx {
+		return false
+	}
+	if p.src != AnySource && p.src != e.src {
+		return false
+	}
+	if p.tag != AnyTag && p.tag != e.tag {
+		return false
+	}
+	return true
+}
+
+// notifyProbers wakes at most one prober per queued envelope; callers
+// hold the mailbox lock.
+func (mb *mailbox) notifyProbers(e *envelope) {
+	for i, p := range mb.probers {
+		if p.matches(e) {
+			mb.probers = append(mb.probers[:i], mb.probers[i+1:]...)
+			p.ch <- Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data}
+			return
+		}
+	}
+}
+
+// Iprobe reports whether a message matching (src, tag) is queued without
+// consuming it; when true, the returned status describes the message.
+func (c *Comm) Iprobe(src int, tag Tag) (bool, Status) {
+	c.trace(CallIprobe, c.peerWorldOrAnyOrNull(src), 0)
+	if isNull(src) {
+		return true, nullStatus()
+	}
+	worldSrc := AnySource
+	if src != AnySource {
+		c.checkRank(src)
+		worldSrc = c.group[src]
+	}
+	mb := c.world.boxes[c.group[c.rank]]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	probe := &probeWaiter{src: worldSrc, tag: tag, ctx: ptpCtx(c.id)}
+	for _, e := range mb.unexpected {
+		if probe.matches(e) {
+			return true, c.statusToComm(Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data})
+		}
+	}
+	return false, Status{}
+}
+
+// Probe blocks until a message matching (src, tag) is queued and returns
+// its status without consuming it; a following Recv with the same
+// arguments retrieves the message.
+func (c *Comm) Probe(src int, tag Tag) Status {
+	c.trace(CallProbe, c.peerWorldOrAnyOrNull(src), 0)
+	if isNull(src) {
+		return nullStatus()
+	}
+	worldSrc := AnySource
+	if src != AnySource {
+		c.checkRank(src)
+		worldSrc = c.group[src]
+	}
+	mb := c.world.boxes[c.group[c.rank]]
+	mb.mu.Lock()
+	waiter := &probeWaiter{src: worldSrc, tag: tag, ctx: ptpCtx(c.id), ch: make(chan Status, 1)}
+	for _, e := range mb.unexpected {
+		if waiter.matches(e) {
+			mb.mu.Unlock()
+			return c.statusToComm(Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data})
+		}
+	}
+	mb.probers = append(mb.probers, waiter)
+	mb.mu.Unlock()
+	return c.statusToComm(<-waiter.ch)
+}

@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// runTimed executes fn on a world with the default cost model.
+func runTimed(t *testing.T, p int, fn func(*Comm)) {
+	t.Helper()
+	w := NewWorld(p,
+		WithTimeout(30*time.Second),
+		WithCostModel(DefaultCostModel()))
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("world run failed: %v", err)
+	}
+}
+
+func TestVirtualTimeDisabledByDefault(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, Size(1<<20))
+		} else {
+			c.Recv(0, 1)
+		}
+		if c.VirtualTime() != 0 {
+			panic("clock moved without a cost model")
+		}
+	})
+}
+
+func TestVirtualTimeCausality(t *testing.T) {
+	m := DefaultCostModel()
+	runTimed(t, 2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, Size(1<<20))
+		case 1:
+			st := c.Recv(0, 1)
+			// The receive cannot complete before send-time + latency +
+			// transfer: ~2us + 1MB/1GBps ≈ 1.05 ms.
+			minArrival := m.Latency + float64(1<<20)/m.Bandwidth
+			if st.VTime < minArrival {
+				panic(fmt.Sprintf("arrival %g before physical minimum %g", st.VTime, minArrival))
+			}
+			if c.VirtualTime() < st.VTime {
+				panic("receiver clock behind the message it received")
+			}
+		}
+	})
+}
+
+func TestVirtualTimeAccumulatesTransfers(t *testing.T) {
+	m := DefaultCostModel()
+	runTimed(t, 2, func(c *Comm) {
+		const msgs = 10
+		const size = 1 << 20
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(1, 1, Size(size))
+			}
+			// Blocking sends pay occupancy: ≥ msgs × transfer.
+			want := float64(msgs) * float64(size) / m.Bandwidth
+			if c.VirtualTime() < want {
+				panic(fmt.Sprintf("sender clock %g below %g", c.VirtualTime(), want))
+			}
+		} else {
+			var last float64
+			for i := 0; i < msgs; i++ {
+				st := c.Recv(0, 1)
+				if st.VTime < last {
+					panic("arrivals regressed in virtual time")
+				}
+				last = st.VTime
+			}
+		}
+	})
+}
+
+func TestVirtualTimeSharedAcrossComms(t *testing.T) {
+	runTimed(t, 4, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, 0)
+		before := c.VirtualTime()
+		sub.Allreduce([]float64{1}, OpSum)
+		if c.VirtualTime() <= before {
+			panic("sub-communicator traffic did not advance the rank clock")
+		}
+		if sub.VirtualTime() != c.VirtualTime() {
+			panic("clock not shared between comms of the same rank")
+		}
+	})
+}
+
+func TestCollectiveCostScalesWithSize(t *testing.T) {
+	m := DefaultCostModel()
+	c8 := m.collectiveCost(CallAllreduce, 8, 8)
+	c256 := m.collectiveCost(CallAllreduce, 8, 256)
+	if c256 <= c8 {
+		t.Errorf("allreduce cost did not grow with ranks: %g vs %g", c8, c256)
+	}
+	if m.collectiveCost(CallBarrier, 0, 1) != m.Overhead {
+		t.Error("single-rank collective should cost only overhead")
+	}
+	a2a := m.collectiveCost(CallAlltoall, 1024, 64)
+	bc := m.collectiveCost(CallBcast, 1024, 64)
+	if a2a <= bc {
+		t.Errorf("alltoall %g should exceed bcast %g", a2a, bc)
+	}
+}
+
+func TestDefaultCostModelBDP(t *testing.T) {
+	m := DefaultCostModel()
+	bdp := m.Latency * m.Bandwidth
+	if math.Abs(bdp-2000) > 100 {
+		t.Errorf("default model BDP %g bytes, want ≈2KB (Table 1)", bdp)
+	}
+}
+
+func TestEventTimestampsMonotone(t *testing.T) {
+	var events []Event
+	w := NewWorld(2,
+		WithTimeout(30*time.Second),
+		WithCostModel(DefaultCostModel()),
+		WithTracerFactory(func(rank int) Tracer {
+			if rank == 0 {
+				return tracerFunc(func(e Event) { events = append(events, e) })
+			}
+			return tracerFunc(func(Event) {})
+		}))
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, Size(4096))
+			c.Recv(1, 2)
+			c.Allreduce([]float64{1}, OpSum)
+		} else {
+			c.Recv(0, 1)
+			c.Send(0, 2, Size(4096))
+			c.Allreduce([]float64{1}, OpSum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Fatalf("event %d time %g regressed below %g", i, events[i].T, events[i-1].T)
+		}
+	}
+	if events[len(events)-1].T == 0 {
+		t.Fatal("events carry no virtual time")
+	}
+}
+
+// tracerFunc adapts a function to the Tracer interface.
+type tracerFunc func(Event)
+
+func (f tracerFunc) Event(e Event) { f(e) }

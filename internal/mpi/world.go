@@ -1,0 +1,328 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ptpCtx returns the matching context of ordinary point-to-point traffic
+// on a communicator: the comm id shifted past the sequence bits collective
+// contexts use (collectives always have a nonzero sequence, so the two
+// namespaces never collide).
+func ptpCtx(commID int) int64 { return int64(commID) << 32 }
+
+// envelope is one in-flight message.
+type envelope struct {
+	src    int // world rank of the sender
+	tag    Tag
+	ctx    int64
+	size   int
+	data   []byte
+	sentAt float64       // sender's virtual clock at the send
+	ack    chan struct{} // rendezvous: closed when the receive matches; nil for eager
+}
+
+// postedRecv is a receive waiting for a matching envelope.
+type postedRecv struct {
+	src int // world rank or AnySource
+	tag Tag // or AnyTag
+	ctx int64
+	req *Request
+}
+
+func (p *postedRecv) matches(e *envelope) bool {
+	if p.ctx != e.ctx {
+		return false
+	}
+	if p.src != AnySource && p.src != e.src {
+		return false
+	}
+	if p.tag != AnyTag && p.tag != e.tag {
+		return false
+	}
+	return true
+}
+
+// mailbox holds a rank's unmatched envelopes, pending receives, and
+// blocked probes.
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []*envelope
+	posted     []*postedRecv
+	probers    []*probeWaiter
+}
+
+// World is a fixed-size set of ranks that can communicate. Create one with
+// NewWorld, optionally attach tracers, then call Run.
+type World struct {
+	size    int
+	boxes   []*mailbox
+	factory TracerFactory
+	timeout time.Duration
+
+	cost       *CostModel
+	eagerLimit int // messages above this rendezvous; 0 = everything eager
+
+	commMu   sync.Mutex
+	commIDs  map[string]int
+	nextComm int
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithTracerFactory installs a profiling tracer on every rank.
+func WithTracerFactory(f TracerFactory) Option {
+	return func(w *World) { w.factory = f }
+}
+
+// WithTimeout aborts Run with an error if the ranks have not all finished
+// after d. It guards tests against deadlocks; zero means no limit.
+func WithTimeout(d time.Duration) Option {
+	return func(w *World) { w.timeout = d }
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int, opts ...Option) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
+	}
+	w := &World{
+		size:     size,
+		boxes:    make([]*mailbox, size),
+		commIDs:  make(map[string]int),
+		nextComm: 1, // id 0 is the world communicator
+	}
+	for i := range w.boxes {
+		w.boxes[i] = new(mailbox)
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// ErrTimeout is returned by Run when WithTimeout expires, which almost
+// always means the rank program deadlocked.
+var ErrTimeout = errors.New("mpi: world timed out (deadlock?)")
+
+// rankError carries a rank panic out of Run.
+type rankError struct {
+	rank  int
+	value any
+	stack []byte
+}
+
+func (e *rankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v\n%s", e.rank, e.value, e.stack)
+}
+
+// Run executes fn once per rank, each on its own goroutine, passing the
+// world communicator handle for that rank. It returns after every rank
+// finishes. Panics inside ranks are recovered and joined into the returned
+// error; remaining ranks may then block forever, so Run should normally be
+// combined with WithTimeout in tests.
+func (w *World) Run(fn func(*Comm)) error {
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errMu.Lock()
+					errs = append(errs, &rankError{rank: rank, value: v, stack: debug.Stack()})
+					errMu.Unlock()
+				}
+			}()
+			c := &Comm{
+				world:  w,
+				id:     0,
+				group:  group,
+				rank:   rank,
+				clockp: new(float64),
+			}
+			if w.factory != nil {
+				c.tracer = w.factory(rank)
+			}
+			fn(c)
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if w.timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(w.timeout):
+			return ErrTimeout
+		}
+	} else {
+		<-done
+	}
+	return errors.Join(errs...)
+}
+
+// deliver routes an envelope to the destination world rank, completing a
+// posted receive when one matches, otherwise queueing it.
+func (w *World) deliver(dst int, env *envelope) {
+	mb := w.boxes[dst]
+	mb.mu.Lock()
+	for i, p := range mb.posted {
+		if p.matches(env) {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			mb.mu.Unlock()
+			if env.ack != nil {
+				close(env.ack)
+			}
+			p.req.complete(w.statusOf(env))
+			return
+		}
+	}
+	mb.unexpected = append(mb.unexpected, env)
+	mb.notifyProbers(env)
+	mb.mu.Unlock()
+}
+
+// post registers a receive for world rank dst, first scanning the
+// unexpected queue in arrival order to preserve non-overtaking matching.
+func (w *World) post(dst int, p *postedRecv) {
+	mb := w.boxes[dst]
+	mb.mu.Lock()
+	for i, env := range mb.unexpected {
+		if p.matches(env) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			mb.mu.Unlock()
+			if env.ack != nil {
+				close(env.ack)
+			}
+			p.req.complete(w.statusOf(env))
+			return
+		}
+	}
+	mb.posted = append(mb.posted, p)
+	mb.mu.Unlock()
+}
+
+// statusOf builds the receive status of an envelope, stamping the
+// modeled arrival time when a cost model is installed.
+func (w *World) statusOf(env *envelope) Status {
+	st := Status{Source: env.src, Tag: env.tag, N: env.size, Data: env.data}
+	if w.cost != nil {
+		st.VTime = w.cost.ptpArrival(env.sentAt, env.size)
+	}
+	return st
+}
+
+// commID returns a process-wide consistent id for a child communicator
+// derived from (parent id, per-rank split sequence, color). Every member
+// rank that performs the same split observes the same id.
+func (w *World) commID(parent, seq, color int) int {
+	key := fmt.Sprintf("%d/%d/%d", parent, seq, color)
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
+	if id, ok := w.commIDs[key]; ok {
+		return id
+	}
+	id := w.nextComm
+	w.nextComm++
+	w.commIDs[key] = id
+	return id
+}
+
+// Request represents an outstanding nonblocking operation. Its zero value
+// is not useful; requests are created by Isend and Irecv.
+type Request struct {
+	mu     sync.Mutex
+	done   bool
+	doneCh chan struct{}
+	notify []chan *Request
+	status Status
+	isRecv bool
+	comm   *Comm
+	peer   int // world rank for sends, posted source for recvs
+	nbytes int
+}
+
+func newRequest(c *Comm, isRecv bool, peer, nbytes int) *Request {
+	return &Request{
+		doneCh: make(chan struct{}),
+		isRecv: isRecv,
+		comm:   c,
+		peer:   peer,
+		nbytes: nbytes,
+	}
+}
+
+// complete marks the request finished and wakes every waiter.
+func (r *Request) complete(st Status) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		panic("mpi: request completed twice")
+	}
+	r.done = true
+	r.status = st
+	ns := r.notify
+	r.notify = nil
+	close(r.doneCh)
+	r.mu.Unlock()
+	for _, ch := range ns {
+		ch <- r // channels are buffered by the registrar
+	}
+}
+
+// subscribe registers ch for completion notification, or reports true if
+// the request already completed.
+func (r *Request) subscribe(ch chan *Request) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return true
+	}
+	r.notify = append(r.notify, ch)
+	return false
+}
+
+// unsubscribe removes ch from the notification list.
+func (r *Request) unsubscribe(ch chan *Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range r.notify {
+		if c == ch {
+			r.notify = append(r.notify[:i], r.notify[i+1:]...)
+			return
+		}
+	}
+}
+
+// Done reports whether the request has completed without blocking.
+func (r *Request) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// wait blocks until completion and returns the status.
+func (r *Request) wait() Status {
+	<-r.doneCh
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}

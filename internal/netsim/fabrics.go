@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/hfast-sim/hfast/internal/fattree"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/treenet"
+)
+
+// LinkParams sets the physical constants shared by the fabric models, so
+// comparisons isolate topology effects.
+type LinkParams struct {
+	// Bandwidth is the per-link capacity in bytes/second.
+	Bandwidth float64
+	// SwitchLatency is the per-packet-switch traversal latency in seconds
+	// (the paper quotes <50 ns per state-of-the-art switch).
+	SwitchLatency float64
+	// WireLatency is the per-link propagation delay in seconds; circuit
+	// switch crossings contribute only this.
+	WireLatency float64
+}
+
+// DefaultLinkParams uses 1 GB/s links, 50 ns switches, 20 ns wires.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{Bandwidth: 1e9, SwitchLatency: 50e-9, WireLatency: 20e-9}
+}
+
+// HFASTNet wraps a provisioned assignment as a simulatable fabric: each
+// node's uplink and each provisioned partner edge is a dedicated link
+// (circuits do not contend); routes pay block-hop switch latency.
+type HFASTNet struct {
+	net      *Network
+	assign   *hfast.Assignment
+	p        LinkParams
+	up, down []int
+	edgeLink map[[2]int]int
+}
+
+// NewHFASTNet builds the simulation model of an assignment. Node links
+// are full duplex (separate up and down links), as are the FCN and mesh
+// models, so fabric comparisons isolate topology rather than NIC duplex
+// effects.
+func NewHFASTNet(a *hfast.Assignment, p LinkParams) *HFASTNet {
+	h := &HFASTNet{
+		net:      NewNetwork(),
+		assign:   a,
+		p:        p,
+		up:       make([]int, a.P),
+		down:     make([]int, a.P),
+		edgeLink: make(map[[2]int]int),
+	}
+	for i := 0; i < a.P; i++ {
+		h.up[i] = h.net.AddLink(fmt.Sprintf("node%d.up", i), p.Bandwidth)
+		h.down[i] = h.net.AddLink(fmt.Sprintf("node%d.down", i), p.Bandwidth)
+	}
+	for i := 0; i < a.P; i++ {
+		for _, j := range a.Partners[i] {
+			if j > i {
+				h.edgeLink[[2]int{i, j}] = h.net.AddLink(fmt.Sprintf("circuit%d-%d", i, j), p.Bandwidth)
+			}
+		}
+	}
+	return h
+}
+
+// Network returns the underlying link set.
+func (h *HFASTNet) Network() *Network { return h.net }
+
+// Route implements Router: provisioned pairs traverse src uplink, the
+// dedicated partner circuit, and the dst uplink, paying block-hop
+// latencies from the assignment; other pairs are unroutable on the
+// high-bandwidth fabric (they belong on the collective network).
+func (h *HFASTNet) Route(src, dst int) ([]int, float64, bool) {
+	r, ok := h.assign.Route(src, dst)
+	if !ok {
+		return nil, 0, false
+	}
+	key := [2]int{src, dst}
+	if dst < src {
+		key = [2]int{dst, src}
+	}
+	el, ok := h.edgeLink[key]
+	if !ok {
+		return nil, 0, false
+	}
+	path := []int{h.up[src], el, h.down[dst]}
+	lat := float64(r.SBHops)*h.p.SwitchLatency + float64(r.Crossings+2)*h.p.WireLatency
+	return path, lat, true
+}
+
+// FCNNet models a fully connected network (fat-tree with full bisection):
+// contention only at the endpoint up/down links, latency through the tree
+// layers.
+type FCNNet struct {
+	net   *Network
+	tree  fattree.Tree
+	p     LinkParams
+	up    []int
+	down  []int
+	procs int
+}
+
+// NewFCNNet builds the FCN model for procs nodes.
+func NewFCNNet(procs int, tree fattree.Tree, p LinkParams) *FCNNet {
+	f := &FCNNet{net: NewNetwork(), tree: tree, p: p, procs: procs}
+	for i := 0; i < procs; i++ {
+		f.up = append(f.up, f.net.AddLink(fmt.Sprintf("node%d.up", i), p.Bandwidth))
+		f.down = append(f.down, f.net.AddLink(fmt.Sprintf("node%d.down", i), p.Bandwidth))
+	}
+	return f
+}
+
+// Network returns the underlying link set.
+func (f *FCNNet) Network() *Network { return f.net }
+
+// Route implements Router.
+func (f *FCNNet) Route(src, dst int) ([]int, float64, bool) {
+	if src < 0 || src >= f.procs || dst < 0 || dst >= f.procs || src == dst {
+		return nil, 0, false
+	}
+	lat := float64(f.tree.MaxSwitchHops())*f.p.SwitchLatency + 2*f.p.WireLatency
+	return []int{f.up[src], f.down[dst]}, lat, true
+}
+
+// MeshNet models a fixed mesh/torus with dimension-ordered routing;
+// application traffic contends on shared mesh links, and every node pays
+// the same full-duplex injection/ejection bandwidth as the other fabric
+// models so comparisons isolate topology.
+type MeshNet struct {
+	net      *Network
+	mesh     meshtorus.Mesh
+	p        LinkParams
+	links    map[[2]int]int
+	up, down []int
+}
+
+// NewMeshNet builds the mesh model.
+func NewMeshNet(m meshtorus.Mesh, p LinkParams) *MeshNet {
+	mn := &MeshNet{net: NewNetwork(), mesh: m, p: p, links: make(map[[2]int]int)}
+	for _, e := range m.Edges() {
+		mn.links[e] = mn.net.AddLink(fmt.Sprintf("mesh%d-%d", e[0], e[1]), p.Bandwidth)
+	}
+	for i := 0; i < m.Size(); i++ {
+		mn.up = append(mn.up, mn.net.AddLink(fmt.Sprintf("node%d.up", i), p.Bandwidth))
+		mn.down = append(mn.down, mn.net.AddLink(fmt.Sprintf("node%d.down", i), p.Bandwidth))
+	}
+	return mn
+}
+
+// Network returns the underlying link set.
+func (m *MeshNet) Network() *Network { return m.net }
+
+// Route implements Router via dimension-ordered routing.
+func (m *MeshNet) Route(src, dst int) ([]int, float64, bool) {
+	if src == dst {
+		return nil, 0, false
+	}
+	hops := m.mesh.RouteDOR(src, dst)
+	path := make([]int, 0, len(hops)+2)
+	path = append(path, m.up[src])
+	for _, h := range hops {
+		id, ok := m.links[h]
+		if !ok {
+			return nil, 0, false
+		}
+		path = append(path, id)
+	}
+	path = append(path, m.down[dst])
+	// Each hop crosses one router.
+	lat := float64(len(hops))*m.p.SwitchLatency + float64(len(hops)+1)*m.p.WireLatency
+	return path, lat, true
+}
+
+// TreeNet models the §2.4 dedicated collective/small-message tree as a
+// simulatable fabric: one shared low-bandwidth link per tree edge, routes
+// through the lowest common ancestor.
+type TreeNet struct {
+	net   *Network
+	tree  *treenet.Tree
+	links map[[2]int]int // (child, parent) → link id
+}
+
+// NewTreeNet builds the tree fabric for p leaves.
+func NewTreeNet(p int, params treenet.Params) (*TreeNet, error) {
+	tr, err := treenet.New(p, params)
+	if err != nil {
+		return nil, err
+	}
+	tn := &TreeNet{net: NewNetwork(), tree: tr, links: make(map[[2]int]int)}
+	for child := 1; child < p; child++ {
+		parent := (child - 1) / params.Fanout
+		tn.links[[2]int{child, parent}] = tn.net.AddLink(
+			fmt.Sprintf("tree%d-%d", child, parent), params.LinkBandwidth)
+	}
+	return tn, nil
+}
+
+// Network returns the underlying link set.
+func (t *TreeNet) Network() *Network { return t.net }
+
+// Route implements Router: climb from both endpoints to their lowest
+// common ancestor in the implicit heap layout.
+func (t *TreeNet) Route(src, dst int) ([]int, float64, bool) {
+	if src == dst || src < 0 || dst < 0 || src >= t.tree.P || dst >= t.tree.P {
+		return nil, 0, false
+	}
+	fanout := t.tree.Params.Fanout
+	var path []int
+	a, b := src, dst
+	for a != b {
+		if a > b {
+			parent := (a - 1) / fanout
+			path = append(path, t.links[[2]int{a, parent}])
+			a = parent
+		} else {
+			parent := (b - 1) / fanout
+			path = append(path, t.links[[2]int{b, parent}])
+			b = parent
+		}
+	}
+	lat := float64(len(path)) * t.tree.Params.HopLatency
+	return path, lat, true
+}

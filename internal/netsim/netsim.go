@@ -1,0 +1,305 @@
+// Package netsim is a flow-level interconnect simulator used to compare
+// application traffic on a provisioned HFAST fabric against the fat-tree
+// and mesh/torus baselines. Flows share link bandwidth max-min fairly;
+// rates are recomputed at every flow arrival and completion (progressive
+// filling), which captures the first-order contention effects that
+// distinguish the fabrics: dedicated circuits never contend, mesh links
+// congest under non-isomorphic traffic, and fat-trees pay per-hop switch
+// latency through their layers.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Link is one shared resource in the network.
+type Link struct {
+	// Name identifies the link in results ("node3.up", "mesh 4-5", ...).
+	Name string
+	// Bandwidth is the capacity in bytes per second.
+	Bandwidth float64
+}
+
+// Network is a set of links; paths are provided per flow by a Router.
+type Network struct {
+	links []Link
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddLink registers a link and returns its id.
+func (n *Network) AddLink(name string, bandwidth float64) int {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: link %q needs positive bandwidth", name))
+	}
+	n.links = append(n.links, Link{Name: name, Bandwidth: bandwidth})
+	return len(n.links) - 1
+}
+
+// Links returns the number of links.
+func (n *Network) Links() int { return len(n.links) }
+
+// Link returns link metadata.
+func (n *Network) Link(id int) Link { return n.links[id] }
+
+// Router maps a flow's endpoints to the link path it occupies and the
+// fixed propagation/switching latency of that path. ok=false means the
+// pair is unreachable on this fabric.
+type Router interface {
+	Route(src, dst int) (path []int, latency float64, ok bool)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(src, dst int) ([]int, float64, bool)
+
+// Route implements Router.
+func (f RouterFunc) Route(src, dst int) ([]int, float64, bool) { return f(src, dst) }
+
+// Flow is one message transfer.
+type Flow struct {
+	// Src and Dst are node ids.
+	Src, Dst int
+	// Bytes is the transfer size.
+	Bytes int64
+	// Start is the injection time in seconds.
+	Start float64
+}
+
+// FlowResult reports one flow's outcome.
+type FlowResult struct {
+	// Finish is the completion time in seconds (Start + latency +
+	// bandwidth-shared transfer time). Unroutable flows have Finish < 0.
+	Finish float64
+	// Routed reports whether the fabric carried the flow.
+	Routed bool
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Flows []FlowResult
+	// Makespan is the latest completion time of a routed flow.
+	Makespan float64
+	// Unroutable counts flows the fabric could not carry.
+	Unroutable int
+	// MaxLinkBytes is the most traffic any single link carried.
+	MaxLinkBytes float64
+}
+
+// Simulate runs the progressive-filling model: at every arrival or
+// completion event, active flows get max-min fair shares of their path
+// bandwidth.
+func Simulate(net *Network, router Router, flows []Flow) (Result, error) {
+	type state struct {
+		flow      Flow
+		path      []int
+		latency   float64
+		remaining float64
+		active    bool
+		done      bool
+		finish    float64
+	}
+	states := make([]*state, len(flows))
+	res := Result{Flows: make([]FlowResult, len(flows))}
+	linkBytes := make([]float64, net.Links())
+
+	var pending []*state
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			return Result{}, fmt.Errorf("netsim: flow %d has negative size", i)
+		}
+		st := &state{flow: f, remaining: float64(f.Bytes)}
+		states[i] = st
+		path, lat, ok := router.Route(f.Src, f.Dst)
+		if !ok {
+			st.done = true
+			st.finish = -1
+			res.Unroutable++
+			continue
+		}
+		for _, l := range path {
+			if l < 0 || l >= net.Links() {
+				return Result{}, fmt.Errorf("netsim: flow %d routed over unknown link %d", i, l)
+			}
+			linkBytes[l] += float64(f.Bytes)
+		}
+		st.path, st.latency = path, lat
+		pending = append(pending, st)
+	}
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].flow.Start < pending[b].flow.Start })
+
+	now := 0.0
+	nextArrival := 0
+	activeCount := 0
+	rates := make(map[*state]float64)
+
+	computeRates := func() {
+		// Max-min fair water-filling over active flows.
+		for st := range rates {
+			delete(rates, st)
+		}
+		type linkState struct {
+			cap   float64
+			flows int
+		}
+		ls := make([]linkState, net.Links())
+		var active []*state
+		for _, st := range states {
+			if st.active && !st.done {
+				active = append(active, st)
+				for _, l := range st.path {
+					ls[l].flows++
+				}
+			}
+		}
+		for i := range ls {
+			ls[i].cap = net.links[i].Bandwidth
+		}
+		unfixed := append([]*state(nil), active...)
+		for len(unfixed) > 0 {
+			// Bottleneck link: minimal fair share among links with flows.
+			bottleShare := math.Inf(1)
+			for l := range ls {
+				if ls[l].flows > 0 {
+					share := ls[l].cap / float64(ls[l].flows)
+					if share < bottleShare {
+						bottleShare = share
+					}
+				}
+			}
+			if math.IsInf(bottleShare, 1) {
+				break
+			}
+			// Fix every flow crossing a bottleneck link at that share.
+			var rest []*state
+			progressed := false
+			for _, st := range unfixed {
+				isBottle := false
+				for _, l := range st.path {
+					if ls[l].flows > 0 && ls[l].cap/float64(ls[l].flows) <= bottleShare*(1+1e-12) {
+						isBottle = true
+						break
+					}
+				}
+				if isBottle {
+					rates[st] = bottleShare
+					progressed = true
+					for _, l := range st.path {
+						ls[l].cap -= bottleShare
+						if ls[l].cap < 0 {
+							ls[l].cap = 0
+						}
+						ls[l].flows--
+					}
+				} else {
+					rest = append(rest, st)
+				}
+			}
+			if !progressed {
+				// Numerical corner: give everyone the bottleneck share.
+				for _, st := range rest {
+					rates[st] = bottleShare
+				}
+				break
+			}
+			unfixed = rest
+		}
+	}
+
+	maxEvents := 16*len(flows) + 4096
+	for iter := 0; ; iter++ {
+		if iter > maxEvents {
+			return Result{}, fmt.Errorf("netsim: no progress after %d events (t=%.6g, %d active)",
+				iter, now, activeCount)
+		}
+		// Advance to the next event: a pending arrival or the earliest
+		// completion at current rates.
+		nextEvent := math.Inf(1)
+		if nextArrival < len(pending) {
+			t := pending[nextArrival].flow.Start
+			if t < nextEvent {
+				nextEvent = t
+			}
+		}
+		var firstDone *state
+		for st, r := range rates {
+			if r <= 0 {
+				continue
+			}
+			t := now + st.remaining/r
+			if t < nextEvent {
+				nextEvent = t
+				firstDone = st
+			}
+		}
+		if math.IsInf(nextEvent, 1) {
+			if activeCount > 0 {
+				return Result{}, fmt.Errorf("netsim: %d flows stalled with zero rate", activeCount)
+			}
+			break
+		}
+		// Drain transferred bytes up to the event. Sub-byte residues are
+		// rounding noise (a completion time quantized to the float ulp of
+		// `now` can leave r·ulp ≫ 1e-9 bytes behind at GB/s rates), so
+		// anything under a thousandth of a byte counts as finished.
+		dt := nextEvent - now
+		for st, r := range rates {
+			st.remaining -= r * dt
+			if st.remaining < 1e-3 {
+				st.remaining = 0
+			}
+		}
+		now = nextEvent
+		changed := false
+		if firstDone != nil {
+			// This event *is* firstDone's completion: retire it even if
+			// float rounding left a residue.
+			firstDone.remaining = 0
+			firstDone.done = true
+			firstDone.active = false
+			firstDone.finish = now + firstDone.latency
+			activeCount--
+			changed = true
+		}
+		// Also retire any flow that hit zero simultaneously.
+		for st := range rates {
+			if !st.done && st.remaining == 0 {
+				st.done = true
+				st.active = false
+				st.finish = now + st.latency
+				activeCount--
+				changed = true
+			}
+		}
+		for nextArrival < len(pending) && pending[nextArrival].flow.Start <= now+1e-15 {
+			st := pending[nextArrival]
+			nextArrival++
+			if st.flow.Bytes == 0 {
+				st.done = true
+				st.finish = st.flow.Start + st.latency
+				continue
+			}
+			st.active = true
+			activeCount++
+			changed = true
+		}
+		if changed {
+			computeRates()
+		}
+	}
+
+	for i, st := range states {
+		res.Flows[i] = FlowResult{Finish: st.finish, Routed: st.finish >= 0}
+		if st.finish > res.Makespan {
+			res.Makespan = st.finish
+		}
+	}
+	for _, b := range linkBytes {
+		if b > res.MaxLinkBytes {
+			res.MaxLinkBytes = b
+		}
+	}
+	return res, nil
+}

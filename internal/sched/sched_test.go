@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+func TestFlexAllocator(t *testing.T) {
+	f := NewFlexAllocator(10)
+	h1, ok := f.Alloc(6)
+	if !ok || f.FreeNodes() != 4 {
+		t.Fatalf("alloc 6: ok=%v free=%d", ok, f.FreeNodes())
+	}
+	if _, ok := f.Alloc(5); ok {
+		t.Fatal("overcommit accepted")
+	}
+	h2, ok := f.Alloc(4)
+	if !ok {
+		t.Fatal("exact fit rejected")
+	}
+	f.Free(h1)
+	f.Free(h2)
+	if f.FreeNodes() != 10 {
+		t.Fatalf("free accounting broken: %d", f.FreeNodes())
+	}
+}
+
+func TestFlexDoubleFreePanics(t *testing.T) {
+	f := NewFlexAllocator(4)
+	h, _ := f.Alloc(2)
+	f.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	f.Free(h)
+}
+
+func TestMeshAllocatorBoxes(t *testing.T) {
+	m, err := NewMeshAllocator(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 jobs of 8 nodes tile the machine exactly (2×2×2 boxes).
+	var handles []int
+	for i := 0; i < 8; i++ {
+		h, ok := m.Alloc(8)
+		if !ok {
+			t.Fatalf("allocation %d failed with %d free", i, m.FreeNodes())
+		}
+		handles = append(handles, h)
+	}
+	if m.FreeNodes() != 0 {
+		t.Fatalf("machine not full: %d free", m.FreeNodes())
+	}
+	if _, ok := m.Alloc(1); ok {
+		t.Fatal("allocation on full machine accepted")
+	}
+	for _, h := range handles {
+		m.Free(h)
+	}
+	if m.FreeNodes() != 64 {
+		t.Fatal("free accounting broken")
+	}
+}
+
+func TestMeshFragmentation(t *testing.T) {
+	// The signature mesh pathology: free nodes exist but no contiguous
+	// box fits. Fill a 4×4×1 machine with 1-node jobs in a checkerboard,
+	// then ask for a 1×2 box.
+	m, err := NewMeshAllocator(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []int
+	for i := 0; i < 16; i++ {
+		h, ok := m.Alloc(1)
+		if !ok {
+			t.Fatal("1-node alloc failed")
+		}
+		handles = append(handles, h)
+	}
+	// Free a checkerboard (8 nodes) — no two adjacent.
+	for i, h := range handles {
+		x, y := i%4, i/4
+		if (x+y)%2 == 0 {
+			m.Free(h)
+		}
+	}
+	if m.FreeNodes() != 8 {
+		t.Fatalf("free nodes %d, want 8", m.FreeNodes())
+	}
+	if _, ok := m.Alloc(2); ok {
+		t.Fatal("2-node box fit a checkerboard — fragmentation model broken")
+	}
+	// The flexible allocator has no such failure mode by construction.
+	fl := NewFlexAllocator(16)
+	for i := 0; i < 8; i++ {
+		fl.Alloc(1)
+	}
+	if _, ok := fl.Alloc(2); !ok {
+		t.Fatal("flex alloc failed with 8 free nodes")
+	}
+}
+
+func TestMeshOddSizePads(t *testing.T) {
+	m, _ := NewMeshAllocator(4, 4, 4)
+	// 7 has no box factorization with max dim 4 beyond 1×... (1,7,?) no:
+	// 7 doesn't fit; pads to 8.
+	h, ok := m.Alloc(7)
+	if !ok {
+		t.Fatal("7-node job failed entirely")
+	}
+	if got := 64 - m.FreeNodes(); got != 8 {
+		t.Fatalf("7-node job consumed %d nodes, want 8 (padded)", got)
+	}
+	m.Free(h)
+}
+
+func TestSimulateFlexVsMesh(t *testing.T) {
+	jobs := SyntheticJobs(60, 64, 42)
+	flex, err := Simulate(jobs, NewFlexAllocator(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := NewMeshAllocator(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := Simulate(jobs, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flex.Jobs != 60 || mres.Jobs != 60 {
+		t.Fatalf("jobs completed: flex %d mesh %d", flex.Jobs, mres.Jobs)
+	}
+	// The flexible allocator never blocks with enough free nodes.
+	if flex.BlockedWithFreeNodes != 0 {
+		t.Errorf("flex blocked with free nodes %d times", flex.BlockedWithFreeNodes)
+	}
+	// The paper's claim: fragmentation makes the mesh wait at least as
+	// long on the same trace.
+	if mres.AvgWait < flex.AvgWait-1e-9 {
+		t.Errorf("mesh avg wait %.2f below flex %.2f", mres.AvgWait, flex.AvgWait)
+	}
+	if flex.Utilization <= 0 || flex.Utilization > 1 || mres.Utilization <= 0 || mres.Utilization > 1 {
+		t.Errorf("utilization out of range: flex %.2f mesh %.2f", flex.Utilization, mres.Utilization)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate([]Job{{ID: 0, Nodes: 0, Duration: 1}}, NewFlexAllocator(4)); err == nil {
+		t.Error("zero-node job accepted")
+	}
+	if _, err := Simulate([]Job{{ID: 0, Nodes: 8, Duration: 1}}, NewFlexAllocator(4)); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if _, err := Simulate([]Job{{ID: 0, Nodes: 2, Duration: 0}}, NewFlexAllocator(4)); err == nil {
+		t.Error("zero-duration job accepted")
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		jobs := SyntheticJobs(20, 32, seed)
+		res, err := Simulate(jobs, NewFlexAllocator(32))
+		if err != nil {
+			return false
+		}
+		return res.Jobs == 20 && res.Makespan > 0 && res.AvgWait >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ringGraph builds a large-message ring for fault tests.
+func ringGraph(n int) *topology.Graph {
+	g := topology.NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddTraffic(i, (i+1)%n, 1, 1<<20, 1<<20)
+	}
+	return g
+}
+
+func TestFaultImpactMeshDetours(t *testing.T) {
+	// 1D mesh (line): killing an interior node disconnects the line but
+	// the ring's wrap edge... use a 2D torus so detours exist.
+	m, err := meshtorus.New([]int{4, 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ringGraph(16)
+	rep, err := FaultImpact(g, m, []int{5}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed count %d", rep.Failed)
+	}
+	// Ring edges not touching node 5 survive: 16 edges − 2 incident.
+	if rep.SurvivingEdges != 14 {
+		t.Errorf("surviving edges %d, want 14", rep.SurvivingEdges)
+	}
+	if rep.MeshDisconnected != 0 {
+		t.Errorf("torus with 1 failure should stay connected, %d cut", rep.MeshDisconnected)
+	}
+	// Surviving routes around a single dead router in a torus keep their
+	// length (equal-cost alternates exist).
+	if rep.MeshMaxDetour > 1.0 {
+		t.Errorf("single torus failure should not stretch routes, got %.2f", rep.MeshMaxDetour)
+	}
+	// HFAST: survivors keep 2-block-hop routes; the dead node's block
+	// returns to the pool.
+	if rep.HFASTMaxRoute.SBHops != 2 {
+		t.Errorf("HFAST max route %d hops, want 2", rep.HFASTMaxRoute.SBHops)
+	}
+	if rep.HFASTBlocksFreed != 1 {
+		t.Errorf("blocks freed %d, want 1", rep.HFASTBlocksFreed)
+	}
+}
+
+func TestFaultImpactForcedDetour(t *testing.T) {
+	// Edge (4,6) on a 4×4 torus runs along row y=1; killing both
+	// intermediate columns (nodes 5 and 7) forces the route into another
+	// row: length 4 instead of 2. HFAST routes are untouched.
+	m, err := meshtorus.New([]int{4, 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topology.NewGraph(16)
+	g.AddTraffic(4, 6, 1, 1<<20, 1<<20)
+	rep, err := FaultImpact(g, m, []int{5, 7}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeshMaxDetour != 2.0 {
+		t.Errorf("forced detour %.2f, want 2.0", rep.MeshMaxDetour)
+	}
+	if rep.HFASTMaxRoute.SBHops != 2 {
+		t.Errorf("HFAST route stretched to %d hops", rep.HFASTMaxRoute.SBHops)
+	}
+}
+
+func TestFaultImpactDisconnection(t *testing.T) {
+	// On a non-wrapping line, killing the middle disconnects halves.
+	m, err := meshtorus.New([]int{8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topology.NewGraph(8)
+	g.AddTraffic(0, 7, 1, 1<<20, 1<<20)
+	rep, err := FaultImpact(g, m, []int{4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeshDisconnected != 1 {
+		t.Errorf("edge should be disconnected on the cut line: %+v", rep)
+	}
+}
+
+func TestFaultImpactValidation(t *testing.T) {
+	m, _ := meshtorus.New([]int{4}, false)
+	if _, err := FaultImpact(ringGraph(16), m, nil, 16); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	m16, _ := meshtorus.New([]int{4, 4}, true)
+	if _, err := FaultImpact(ringGraph(16), m16, []int{99}, 16); err == nil {
+		t.Error("out-of-range failure accepted")
+	}
+}

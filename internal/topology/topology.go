@@ -1,0 +1,221 @@
+// Package topology derives communication-topology metrics from profiled
+// point-to-point traffic: the P×P volume matrix the paper's per-application
+// heatmaps show, and the topological degree of communication (TDC) — the
+// number of distinct partners per rank — including the bandwidth-delay
+// thresholding sweep of the "Concurrency with Cutoff" figures.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hfast-sim/hfast/internal/ipm"
+)
+
+// DefaultCutoff is the paper's 2 KB bandwidth-delay-product threshold:
+// messages below it are latency-bound and do not benefit from a dedicated
+// circuit.
+const DefaultCutoff = 2048
+
+// Graph is the undirected communication graph of an application run.
+// Links are assumed bidirectional (as the paper does), so all matrices are
+// symmetrized: entry [i][j] reflects traffic in either direction.
+type Graph struct {
+	// P is the number of ranks.
+	P int
+	// Vol[i][j] is the total bytes exchanged between i and j.
+	Vol [][]int64
+	// Msgs[i][j] is the number of messages exchanged between i and j.
+	Msgs [][]int64
+	// MaxMsg[i][j] is the largest single message exchanged between i and j.
+	MaxMsg [][]int
+}
+
+// NewGraph allocates an empty graph over p ranks.
+func NewGraph(p int) *Graph {
+	if p <= 0 {
+		panic(fmt.Sprintf("topology: graph size must be positive, got %d", p))
+	}
+	g := &Graph{P: p}
+	g.Vol = make([][]int64, p)
+	g.Msgs = make([][]int64, p)
+	g.MaxMsg = make([][]int, p)
+	for i := 0; i < p; i++ {
+		g.Vol[i] = make([]int64, p)
+		g.Msgs[i] = make([]int64, p)
+		g.MaxMsg[i] = make([]int, p)
+	}
+	return g
+}
+
+// AddTraffic records traffic from src to dst (and symmetrically).
+func (g *Graph) AddTraffic(src, dst int, msgs, bytes int64, maxMsg int) {
+	if src < 0 || src >= g.P || dst < 0 || dst >= g.P {
+		panic(fmt.Sprintf("topology: pair (%d,%d) out of range [0,%d)", src, dst, g.P))
+	}
+	if src == dst {
+		return // self-traffic does not use the interconnect
+	}
+	g.Vol[src][dst] += bytes
+	g.Vol[dst][src] += bytes
+	g.Msgs[src][dst] += msgs
+	g.Msgs[dst][src] += msgs
+	if maxMsg > g.MaxMsg[src][dst] {
+		g.MaxMsg[src][dst] = maxMsg
+		g.MaxMsg[dst][src] = maxMsg
+	}
+}
+
+// FromProfile builds the graph from a profile's point-to-point traffic,
+// honoring the region filter (nil means all regions).
+func FromProfile(p *ipm.Profile, filter ipm.RegionFilter) *Graph {
+	g := NewGraph(p.Procs)
+	for _, pt := range p.Pairs(filter) {
+		g.AddTraffic(pt.Src, pt.Dst, pt.Msgs, pt.Bytes, pt.MaxMsg)
+	}
+	return g
+}
+
+// Partners returns the sorted partner list of a rank, counting partners
+// whose largest exchanged message is at least cutoff bytes. cutoff 0
+// returns every partner.
+func (g *Graph) Partners(rank, cutoff int) []int {
+	if rank < 0 || rank >= g.P {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", rank, g.P))
+	}
+	var out []int
+	for j := 0; j < g.P; j++ {
+		if j == rank {
+			continue
+		}
+		if g.Msgs[rank][j] > 0 && g.MaxMsg[rank][j] >= cutoff {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Degrees returns the TDC of every rank at the given cutoff.
+func (g *Graph) Degrees(cutoff int) []int {
+	deg := make([]int, g.P)
+	for i := 0; i < g.P; i++ {
+		d := 0
+		for j := 0; j < g.P; j++ {
+			if j != i && g.Msgs[i][j] > 0 && g.MaxMsg[i][j] >= cutoff {
+				d++
+			}
+		}
+		deg[i] = d
+	}
+	return deg
+}
+
+// TDCStats summarizes the degree distribution at one cutoff.
+type TDCStats struct {
+	// Cutoff is the message-size threshold applied.
+	Cutoff int
+	// Max, Min are the extreme degrees.
+	Max, Min int
+	// Avg is the mean degree.
+	Avg float64
+	// Median is the median degree.
+	Median float64
+}
+
+// Stats computes degree statistics at the given cutoff.
+func (g *Graph) Stats(cutoff int) TDCStats {
+	deg := g.Degrees(cutoff)
+	st := TDCStats{Cutoff: cutoff, Min: deg[0], Max: deg[0]}
+	sum := 0
+	for _, d := range deg {
+		sum += d
+		if d > st.Max {
+			st.Max = d
+		}
+		if d < st.Min {
+			st.Min = d
+		}
+	}
+	st.Avg = float64(sum) / float64(len(deg))
+	sorted := append([]int(nil), deg...)
+	sort.Ints(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		st.Median = float64(sorted[n/2])
+	} else {
+		st.Median = float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+	return st
+}
+
+// PaperCutoffs is the x-axis of the paper's concurrency-with-cutoff
+// figures: 0 then powers of two from 128 bytes to 1 MB.
+func PaperCutoffs() []int {
+	out := []int{0}
+	for c := 128; c <= 1<<20; c <<= 1 {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Sweep computes degree statistics across a cutoff series (PaperCutoffs if
+// cutoffs is nil).
+func (g *Graph) Sweep(cutoffs []int) []TDCStats {
+	if cutoffs == nil {
+		cutoffs = PaperCutoffs()
+	}
+	out := make([]TDCStats, len(cutoffs))
+	for i, c := range cutoffs {
+		out[i] = g.Stats(c)
+	}
+	return out
+}
+
+// FCNUtilization is the fraction of a fully-connected network's links the
+// application exercises: average TDC at the cutoff divided by P−1.
+func (g *Graph) FCNUtilization(cutoff int) float64 {
+	if g.P == 1 {
+		return 0
+	}
+	return g.Stats(cutoff).Avg / float64(g.P-1)
+}
+
+// Edges lists the undirected edges (i<j) whose largest message meets the
+// cutoff, sorted by (i, j).
+func (g *Graph) Edges(cutoff int) [][2]int {
+	var out [][2]int
+	for i := 0; i < g.P; i++ {
+		for j := i + 1; j < g.P; j++ {
+			if g.Msgs[i][j] > 0 && g.MaxMsg[i][j] >= cutoff {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Subgraph returns the graph induced by keeping only edges meeting the
+// cutoff. Volumes and counts are preserved for the surviving edges.
+func (g *Graph) Subgraph(cutoff int) *Graph {
+	s := NewGraph(g.P)
+	for i := 0; i < g.P; i++ {
+		for j := i + 1; j < g.P; j++ {
+			if g.Msgs[i][j] > 0 && g.MaxMsg[i][j] >= cutoff {
+				s.AddTraffic(i, j, g.Msgs[i][j], g.Vol[i][j], g.MaxMsg[i][j])
+			}
+		}
+	}
+	return s
+}
+
+// TotalBytes returns the total traffic over all pairs (each undirected
+// pair counted once).
+func (g *Graph) TotalBytes() int64 {
+	var sum int64
+	for i := 0; i < g.P; i++ {
+		for j := i + 1; j < g.P; j++ {
+			sum += g.Vol[i][j]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,136 @@
+// Package trace implements the paper's future-work proposal (§6): a
+// time-windowed topological degree of communication. By computing the TDC
+// per application step instead of over the whole run, it exposes phases
+// whose partner sets differ — exactly the windows in which an HFAST
+// circuit switch could be reconfigured mid-run to track the application.
+package trace
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// Window is the communication activity of one profiling region (one
+// application step).
+type Window struct {
+	// Region is the region name ("step003").
+	Region string
+	// Graph is the traffic graph of this window alone.
+	Graph *topology.Graph
+	// Stats is the TDC at the analysis cutoff.
+	Stats topology.TDCStats
+}
+
+// Windows extracts per-step windows from a profile, ordered by region
+// name. Only regions with the given prefix ("step" for the skeletons'
+// steady state) are included.
+func Windows(p *ipm.Profile, prefix string, cutoff int) []Window {
+	if cutoff == 0 {
+		cutoff = topology.DefaultCutoff
+	}
+	names := map[string]bool{}
+	p.Visit(ipm.AllRegions, func(_ int, e ipm.Entry) {
+		if strings.HasPrefix(e.Key.Region, prefix) {
+			names[e.Key.Region] = true
+		}
+	})
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	out := make([]Window, 0, len(ordered))
+	for _, name := range ordered {
+		g := topology.FromProfile(p, ipm.Region(name))
+		out = append(out, Window{Region: name, Graph: g, Stats: g.Stats(cutoff)})
+	}
+	return out
+}
+
+// Churn measures how much the thresholded partner-set changes between two
+// windows: the number of edges present in exactly one of them.
+func Churn(a, b *topology.Graph, cutoff int) int {
+	if cutoff == 0 {
+		cutoff = topology.DefaultCutoff
+	}
+	ea := edgeSet(a, cutoff)
+	eb := edgeSet(b, cutoff)
+	churn := 0
+	for e := range ea {
+		if !eb[e] {
+			churn++
+		}
+	}
+	for e := range eb {
+		if !ea[e] {
+			churn++
+		}
+	}
+	return churn
+}
+
+func edgeSet(g *topology.Graph, cutoff int) map[[2]int]bool {
+	s := make(map[[2]int]bool)
+	for _, e := range g.Edges(cutoff) {
+		s[e] = true
+	}
+	return s
+}
+
+// Opportunity summarizes whether runtime reconfiguration would help an
+// application: stable windows mean one provisioning suffices; high churn
+// with low per-window degree means the fabric can track phases with few
+// port moves.
+type Opportunity struct {
+	// Windows is the number of steps analyzed.
+	Windows int
+	// MaxWindowTDC is the largest per-window max degree — what the fabric
+	// must provision at any instant.
+	MaxWindowTDC int
+	// UnionTDC is the max degree of the union graph — what a static
+	// provisioning must support.
+	UnionTDC int
+	// MeanChurn is the average edge churn between consecutive windows.
+	MeanChurn float64
+	// ReconfigurableGain is UnionTDC − MaxWindowTDC: blocks a
+	// reconfigurable fabric saves over a statically provisioned one.
+	ReconfigurableGain int
+}
+
+// Analyze computes the reconfiguration opportunity over a run's windows.
+func Analyze(p *ipm.Profile, cutoff int) Opportunity {
+	if cutoff == 0 {
+		cutoff = topology.DefaultCutoff
+	}
+	ws := Windows(p, "step", cutoff)
+	op := Opportunity{Windows: len(ws)}
+	if len(ws) == 0 {
+		return op
+	}
+	union := topology.NewGraph(p.Procs)
+	churnSum := 0
+	for i, w := range ws {
+		if w.Stats.Max > op.MaxWindowTDC {
+			op.MaxWindowTDC = w.Stats.Max
+		}
+		for x := 0; x < w.Graph.P; x++ {
+			for y := x + 1; y < w.Graph.P; y++ {
+				if w.Graph.Msgs[x][y] > 0 {
+					union.AddTraffic(x, y, w.Graph.Msgs[x][y], w.Graph.Vol[x][y], w.Graph.MaxMsg[x][y])
+				}
+			}
+		}
+		if i > 0 {
+			churnSum += Churn(ws[i-1].Graph, w.Graph, cutoff)
+		}
+	}
+	op.UnionTDC = union.Stats(cutoff).Max
+	if len(ws) > 1 {
+		op.MeanChurn = float64(churnSum) / float64(len(ws)-1)
+	}
+	op.ReconfigurableGain = op.UnionTDC - op.MaxWindowTDC
+	return op
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/mpi"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// phasedProfile runs a 2-phase app: steps 0-1 are a ring, steps 2-3 are a
+// shuffle — the classic reconfiguration opportunity.
+func phasedProfile(t *testing.T) *ipm.Profile {
+	t.Helper()
+	const p = 8
+	set := ipm.NewCollectorSet(0)
+	w := mpi.NewWorld(p,
+		mpi.WithTimeout(30*time.Second),
+		mpi.WithTracerFactory(set.Factory))
+	err := w.Run(func(c *mpi.Comm) {
+		me := c.Rank()
+		for s := 0; s < 4; s++ {
+			c.RegionBegin(stepName(s))
+			var peerA, peerB int
+			if s < 2 {
+				peerA, peerB = (me+1)%p, (me+p-1)%p
+			} else {
+				peerA, peerB = me^4, me^4
+			}
+			c.Sendrecv(peerA, 1, mpi.Size(64<<10), peerB, 1)
+			c.RegionEnd()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.Profile("phased", p, nil)
+}
+
+func stepName(s int) string {
+	names := []string{"step000", "step001", "step002", "step003"}
+	return names[s]
+}
+
+func TestWindowsExtraction(t *testing.T) {
+	p := phasedProfile(t)
+	ws := Windows(p, "step", 0)
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows, want 4", len(ws))
+	}
+	for i, w := range ws {
+		if w.Region != stepName(i) {
+			t.Errorf("window %d region %q", i, w.Region)
+		}
+	}
+	// Ring windows: TDC 2; shuffle windows: TDC 1.
+	if ws[0].Stats.Max != 2 || ws[3].Stats.Max != 1 {
+		t.Errorf("window degrees: first %+v last %+v", ws[0].Stats, ws[3].Stats)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	p := phasedProfile(t)
+	ws := Windows(p, "step", 0)
+	if c := Churn(ws[0].Graph, ws[1].Graph, 0); c != 0 {
+		t.Errorf("same-phase churn %d, want 0", c)
+	}
+	// Phase switch: 8 ring edges disappear, 4 shuffle edges appear.
+	if c := Churn(ws[1].Graph, ws[2].Graph, 0); c != 12 {
+		t.Errorf("phase-switch churn %d, want 12", c)
+	}
+}
+
+func TestAnalyzeOpportunity(t *testing.T) {
+	p := phasedProfile(t)
+	op := Analyze(p, 0)
+	if op.Windows != 4 {
+		t.Fatalf("windows %d", op.Windows)
+	}
+	if op.MaxWindowTDC != 2 {
+		t.Errorf("max window TDC %d, want 2", op.MaxWindowTDC)
+	}
+	// Union: ring (2) + shuffle partner (1) = 3.
+	if op.UnionTDC != 3 {
+		t.Errorf("union TDC %d, want 3", op.UnionTDC)
+	}
+	if op.ReconfigurableGain != 1 {
+		t.Errorf("gain %d, want 1", op.ReconfigurableGain)
+	}
+	if op.MeanChurn <= 0 {
+		t.Errorf("mean churn %g", op.MeanChurn)
+	}
+}
+
+func TestAnalyzeEmptyProfile(t *testing.T) {
+	p := &ipm.Profile{App: "empty", Procs: 4}
+	op := Analyze(p, 0)
+	if op.Windows != 0 || op.UnionTDC != 0 {
+		t.Errorf("empty analyze: %+v", op)
+	}
+}
+
+func TestChurnCutoffDefaults(t *testing.T) {
+	a := topology.NewGraph(4)
+	b := topology.NewGraph(4)
+	a.AddTraffic(0, 1, 1, 100, 100) // below default cutoff
+	if c := Churn(a, b, 0); c != 0 {
+		t.Errorf("sub-threshold edge churned: %d", c)
+	}
+	if c := Churn(a, b, 1); c != 1 {
+		t.Errorf("raw churn %d, want 1", c)
+	}
+}

@@ -1,0 +1,113 @@
+package treenet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, p int) *Tree {
+	t.Helper()
+	tr, err := New(p, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, DefaultParams()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad := DefaultParams()
+	bad.Fanout = 1
+	if _, err := New(8, bad); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	bad = DefaultParams()
+	bad.LinkBandwidth = 0
+	if _, err := New(8, bad); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 9: 2, 27: 3, 28: 4, 256: 6}
+	for p, want := range cases {
+		if got := mustTree(t, p).Depth(); got != want {
+			t.Errorf("depth(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestHopsBetween(t *testing.T) {
+	tr := mustTree(t, 13) // fanout 3: 0 is root; children 1,2,3; etc.
+	if h := tr.HopsBetween(5, 5); h != 0 {
+		t.Errorf("self hops %d", h)
+	}
+	// 1 and its parent's other child 2: up to 0, down to 2 = 2 hops.
+	if h := tr.HopsBetween(1, 2); h != 2 {
+		t.Errorf("sibling hops %d, want 2", h)
+	}
+	// 4 (child of 1) to 1: 1 hop.
+	if h := tr.HopsBetween(4, 1); h != 1 {
+		t.Errorf("parent hops %d, want 1", h)
+	}
+	if tr.HopsBetween(4, 12) != tr.HopsBetween(12, 4) {
+		t.Error("hops not symmetric")
+	}
+}
+
+func TestHopsQuick(t *testing.T) {
+	tr := mustTree(t, 200)
+	f := func(aRaw, bRaw uint8) bool {
+		a := int(aRaw) % 200
+		b := int(bRaw) % 200
+		h := tr.HopsBetween(a, b)
+		if a == b {
+			return h == 0
+		}
+		// Bounded by twice the deepest path in the heap layout.
+		return h > 0 && h <= 2*(tr.Depth()+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	tr := mustTree(t, 27)
+	p := tr.Params
+	want := 3*p.HopLatency + 1024/p.LinkBandwidth
+	if got := tr.BroadcastLatency(1024); math.Abs(got-want) > 1e-15 {
+		t.Errorf("broadcast latency %g, want %g", got, want)
+	}
+	if tr.AllreduceLatency(8) != tr.ReduceLatency(8)+tr.BroadcastLatency(8) {
+		t.Error("allreduce != reduce + broadcast")
+	}
+	if tr.PointToPointLatency(1, 1, 100) != 100/p.LinkBandwidth {
+		t.Error("self PTP latency should be transfer only")
+	}
+}
+
+func TestCostLinear(t *testing.T) {
+	small := mustTree(t, 64)
+	big := mustTree(t, 4096)
+	if math.Abs(small.CostPerNode()-big.CostPerNode()) > small.CostPerNode()*0.05 {
+		t.Errorf("tree cost not linear: %.2f vs %.2f per node",
+			small.CostPerNode(), big.CostPerNode())
+	}
+	if small.Links() != 63 {
+		t.Errorf("links %d, want 63", small.Links())
+	}
+}
+
+func TestCollectiveFasterThanDataFabricForSmall(t *testing.T) {
+	// The design point: an 8-byte allreduce on the tree must beat P−1
+	// point-to-point latencies on a multi-layer packet fabric. Sanity:
+	// allreduce of 8 bytes at P=256 stays in the microsecond range.
+	tr := mustTree(t, 256)
+	if l := tr.AllreduceLatency(8); l > 5e-6 {
+		t.Errorf("8B allreduce takes %g s; tree model broken", l)
+	}
+}
