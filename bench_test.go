@@ -11,7 +11,10 @@
 package hfast_test
 
 import (
+	"bytes"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -20,6 +23,7 @@ import (
 	"github.com/hfast-sim/hfast/internal/experiments"
 	"github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/server"
 	"github.com/hfast-sim/hfast/internal/topology"
 	"github.com/hfast-sim/hfast/internal/treenet"
 )
@@ -414,4 +418,35 @@ func BenchmarkBlockSizeAblation(b *testing.B) {
 	b.ReportMetric(blocks8, "gtc_active_ports_bs8")
 	b.ReportMetric(blocks16, "gtc_active_ports_bs16")
 	b.ReportMetric(blocks32, "gtc_active_ports_bs32")
+}
+
+// BenchmarkServerProvision drives POST /v1/provision end-to-end through
+// the hfastd handler. "cold" provisions into an empty plan cache (every
+// iteration runs the full profile-and-assign pipeline); "cached" repeats
+// one request against a warm cache, so the delta is what the
+// content-addressed LRU buys.
+func BenchmarkServerProvision(b *testing.B) {
+	body := []byte(`{"app":"cactus","procs":8,"steps":1}`)
+	post := func(b *testing.B, h http.Handler) {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/v1/provision", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(b, server.New(server.Config{Workers: 1, CacheEntries: 1}).Handler())
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		h := server.New(server.Config{Workers: 1}).Handler()
+		post(b, h) // warm the cache outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h)
+		}
+	})
 }

@@ -28,12 +28,15 @@ func main() {
 	blockSize := flag.Int("blocksize", hfast.DefaultBlockSize, "active switch block ports")
 	full := flag.Bool("full", false, "print every circuit (default prints a summary and the first 40)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fail(err)
+			usageErr(err.Error())
 		}
 		defer f.Close()
 		src = f
@@ -95,4 +98,12 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "hfastplan: %v\n", err)
 	os.Exit(1)
+}
+
+// usageErr reports a usage-class mistake (bad invocation rather than a
+// failed run): message plus flag usage, exit 2.
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "hfastplan: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -27,6 +27,9 @@ func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	list := flag.Bool("list", false, "list available applications")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
 
 	if *list {
 		fmt.Printf("%-10s %-16s %s\n", "NAME", "DISCIPLINE", "PROBLEM")
@@ -36,8 +39,10 @@ func main() {
 		return
 	}
 	if *app == "" {
-		fmt.Fprintln(os.Stderr, "hfastsim: -app is required (use -list to see choices)")
-		os.Exit(2)
+		usageErr("-app is required (use -list to see choices)")
+	}
+	if _, err := apps.Lookup(*app); err != nil {
+		usageErr(fmt.Sprintf("%v (use -list to see choices)", err))
 	}
 	prof, err := apps.ProfileRun(*app, apps.Config{
 		Procs: *procs,
@@ -63,4 +68,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hfastsim: writing profile: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a usage-class mistake (bad invocation rather than a
+// failed run): message plus flag usage, exit 2.
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "hfastsim: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
 }

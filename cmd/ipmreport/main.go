@@ -29,13 +29,15 @@ func main() {
 	region := flag.String("region", "steady", "regions to analyze: steady, all, init, or a region name")
 	cutoff := flag.Int("cutoff", topology.DefaultCutoff, "TDC message-size cutoff in bytes")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ipmreport: %v\n", err)
-			os.Exit(1)
+			usageErr(err.Error())
 		}
 		defer f.Close()
 		src = f
@@ -96,4 +98,12 @@ func main() {
 		cmp.Blocks, float64(cmp.Blocks)/float64(prof.Procs), cmp.MaxRoute.SBHops, cmp.MaxRoute.Crossings)
 	fmt.Fprintf(w, "cost: HFAST %.0f vs fat-tree %.0f (ratio %.2f)\n",
 		cmp.HFAST.Total(), cmp.FatTree.Total(), cmp.Ratio())
+}
+
+// usageErr reports a usage-class mistake (bad invocation rather than a
+// failed run): message plus flag usage, exit 2.
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "ipmreport: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
 }

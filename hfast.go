@@ -17,6 +17,8 @@
 package hfast
 
 import (
+	"context"
+
 	"github.com/hfast-sim/hfast/internal/analysis"
 	"github.com/hfast-sim/hfast/internal/apps"
 	core "github.com/hfast-sim/hfast/internal/hfast"
@@ -61,6 +63,25 @@ func LookupApp(name string) (AppInfo, error) { return apps.Lookup(name) }
 // RunApp executes the named skeleton under the IPM collector and returns
 // its communication profile.
 func RunApp(name string, cfg Config) (*Profile, error) { return apps.ProfileRun(name, cfg) }
+
+// RunAppContext is RunApp with cancellation: when ctx is done before the
+// skeleton finishes, the in-flight MPI world aborts, all rank goroutines
+// unwind, and ctx.Err() is returned (wrapped). Servers and batch drivers
+// should prefer this entry point.
+func RunAppContext(ctx context.Context, name string, cfg Config) (*Profile, error) {
+	return apps.ProfileRunContext(ctx, name, cfg)
+}
+
+// ProvisionForApp profiles the named skeleton under ctx and provisions an
+// HFAST fabric for its steady-state topology in one call — the pipeline
+// the hfastd service serves.
+func ProvisionForApp(ctx context.Context, name string, cfg Config, cutoff int, p Params) (*Assignment, error) {
+	prof, err := apps.ProfileRunContext(ctx, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Assign(topology.FromProfile(prof, ipm.SteadyState), cutoff, p.BlockSize)
+}
 
 // BuildGraph extracts the steady-state communication topology of a
 // profile (initialization regions excluded, as in the paper).

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,14 @@ const DefaultTimeout = 5 * time.Minute
 // ProfileRun executes the named skeleton on a fresh world under the IPM
 // collector and returns the assembled profile.
 func ProfileRun(name string, cfg Config) (*ipm.Profile, error) {
+	return ProfileRunContext(context.Background(), name, cfg)
+}
+
+// ProfileRunContext is ProfileRun with cancellation: when ctx is done
+// before the skeleton finishes, the world aborts, every rank goroutine
+// unwinds, and ctx.Err() is returned (wrapped). The serving layer relies
+// on this to bound profiling work per request.
+func ProfileRunContext(ctx context.Context, name string, cfg Config) (*ipm.Profile, error) {
 	info, err := Lookup(name)
 	if err != nil {
 		return nil, err
@@ -27,7 +36,7 @@ func ProfileRun(name string, cfg Config) (*ipm.Profile, error) {
 		mpi.WithTimeout(DefaultTimeout),
 		mpi.WithCostModel(mpi.DefaultCostModel()),
 		mpi.WithTracerFactory(set.Factory))
-	if err := w.Run(func(c *mpi.Comm) { info.Run(c, cfg) }); err != nil {
+	if err := w.RunContext(ctx, func(c *mpi.Comm) { info.Run(c, cfg) }); err != nil {
 		return nil, fmt.Errorf("apps: %s run failed: %w", name, err)
 	}
 	full := cfg.withDefaults(info.DefaultScale)

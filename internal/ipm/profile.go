@@ -25,8 +25,22 @@ type RankProfile struct {
 	Spilled int64
 }
 
+// SchemaVersion is the current version of the Profile wire format. It is
+// bumped only on incompatible changes; ReadJSON rejects profiles from a
+// newer version so consumers fail loudly instead of misreading fields.
+const SchemaVersion = 1
+
 // Profile is the merged communication profile of one application run.
+//
+// The JSON serialization (WriteJSON/ReadJSON) is the service wire format:
+// field set and ordering are stable, slices are sorted (Ranks by rank,
+// Entries by key), and map keys are emitted in Go's sorted-key JSON order,
+// so encode → decode → re-encode is byte-identical. A golden-file test
+// guards the format against silent drift.
 type Profile struct {
+	// Version is the wire-format version (SchemaVersion when written by
+	// this package; 0 in pre-versioning files, still accepted).
+	Version int
 	// App is the application skeleton name (e.g. "cactus").
 	App string
 	// Procs is the number of ranks.
@@ -199,18 +213,25 @@ func (p *Profile) TimeByCall(filter RegionFilter) map[mpi.Call]float64 {
 	return out
 }
 
-// WriteJSON serializes the profile.
+// WriteJSON serializes the profile in the versioned wire format.
 func (p *Profile) WriteJSON(w io.Writer) error {
+	if p.Version == 0 {
+		p.Version = SchemaVersion
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(p)
 }
 
-// ReadJSON deserializes a profile written by WriteJSON.
+// ReadJSON deserializes a profile written by WriteJSON. Profiles written
+// by a newer schema than this package understands are rejected.
 func ReadJSON(r io.Reader) (*Profile, error) {
 	var p Profile
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("ipm: decoding profile: %w", err)
+	}
+	if p.Version > SchemaVersion {
+		return nil, fmt.Errorf("ipm: profile wire format v%d is newer than supported v%d", p.Version, SchemaVersion)
 	}
 	return &p, nil
 }

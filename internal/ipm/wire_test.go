@@ -1,0 +1,80 @@
+package ipm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+// TestGoldenWireFormat pins the service wire format: the committed golden
+// profile must decode and re-encode byte-identically. Any change to field
+// names, ordering, indentation, or number formatting fails here instead of
+// silently breaking hfastd clients and stored profiles.
+func TestGoldenWireFormat(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "profile_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	p, err := ReadJSON(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatalf("decoding golden: %v", err)
+	}
+	if p.Version != SchemaVersion {
+		t.Fatalf("golden version = %d, want %d", p.Version, SchemaVersion)
+	}
+	if p.App != "cactus" || p.Procs != 8 {
+		t.Fatalf("golden header = %s/%d, want cactus/8", p.App, p.Procs)
+	}
+	var out bytes.Buffer
+	if err := p.WriteJSON(&out); err != nil {
+		t.Fatalf("re-encoding golden: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Fatalf("wire format drifted: re-encoded golden differs (%d vs %d bytes)", out.Len(), len(golden))
+	}
+}
+
+// TestWireFormatRoundTripStable checks encode → decode → re-encode is
+// byte-identical for a profile built in-process (not just the golden).
+func TestWireFormatRoundTripStable(t *testing.T) {
+	p := &Profile{
+		App:    "synthetic",
+		Procs:  3,
+		Params: map[string]int{"steps": 4, "scale": 7},
+		Ranks: []RankProfile{
+			{Rank: 0, Entries: []Entry{
+				{Key: Key{Call: mpi.CallSend, Bytes: 1024, Peer: 1, Region: "step0"},
+					Stat: Stat{Count: 2, TotalBytes: 2048, MaxBytes: 1024, Time: 0.25}},
+			}},
+			{Rank: 1, Spilled: 3},
+			{Rank: 2},
+		},
+	}
+	var first bytes.Buffer
+	if err := p.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := got.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\nfirst:  %s\nsecond: %s", first.String(), second.String())
+	}
+}
+
+// TestReadJSONRejectsNewerVersion ensures consumers fail loudly on
+// profiles from a future schema rather than misreading them.
+func TestReadJSONRejectsNewerVersion(t *testing.T) {
+	in := []byte(`{"Version": 99, "App": "x", "Procs": 1}`)
+	if _, err := ReadJSON(bytes.NewReader(in)); err == nil {
+		t.Fatal("expected error for wire format v99")
+	}
+}

@@ -115,6 +115,20 @@ func (c *Comm) sendRawProto(dst int, tag Tag, ctx int64, b Buf, allowRendezvous 
 	return env.ack
 }
 
+// waitAck blocks on a rendezvous acknowledgement, unwinding the rank if
+// the world is aborted first.
+func (c *Comm) waitAck(ack chan struct{}) {
+	select {
+	case <-ack:
+	case <-c.world.abort:
+		select {
+		case <-ack:
+		default:
+			panic(abortSignal{})
+		}
+	}
+}
+
 // recvRaw posts a receive without tracing and returns its request.
 func (c *Comm) recvRaw(src int, tag Tag, ctx int64) *Request {
 	worldSrc := AnySource
@@ -146,7 +160,7 @@ func (c *Comm) Send(dst int, tag Tag, b Buf) {
 		return
 	}
 	if ack := c.sendRawProto(dst, tag, ptpCtx(c.id), b, true); ack != nil {
-		<-ack // rendezvous: block until the receive is posted
+		c.waitAck(ack) // rendezvous: block until the receive is posted
 	}
 	c.advance(c.transferOf(b.N))
 	c.trace(CallSend, c.peerWorld(dst), b.N)
@@ -181,8 +195,13 @@ func (c *Comm) Isend(dst int, tag Tag, b Buf) *Request {
 	st := Status{Source: c.group[c.rank], Tag: tag, N: b.N}
 	if ack := c.sendRawProto(dst, tag, ptpCtx(c.id), b, true); ack != nil {
 		go func() {
-			<-ack
-			req.complete(st)
+			// Not a rank goroutine: on abort, return without completing —
+			// the rank waiting on req unwinds through Request.wait.
+			select {
+			case <-ack:
+				req.complete(st)
+			case <-c.world.abort:
+			}
 		}()
 	} else {
 		req.complete(st)
@@ -219,7 +238,7 @@ func (c *Comm) Sendrecv(dst int, stag Tag, sb Buf, src int, rtag Tag) Status {
 	}
 	if isNull(src) {
 		if ack := c.sendRawProto(dst, stag, ptpCtx(c.id), sb, true); ack != nil {
-			<-ack
+			c.waitAck(ack)
 		}
 		c.advance(c.transferOf(sb.N))
 		c.trace(CallSendrecv, c.peerWorld(dst), sb.N)
@@ -227,7 +246,7 @@ func (c *Comm) Sendrecv(dst int, stag Tag, sb Buf, src int, rtag Tag) Status {
 	}
 	req := c.recvRaw(src, rtag, ptpCtx(c.id))
 	if ack := c.sendRawProto(dst, stag, ptpCtx(c.id), sb, true); ack != nil {
-		<-ack // safe: our receive is already posted
+		c.waitAck(ack) // safe: our receive is already posted
 	}
 	st := req.wait()
 	c.observeArrival(st.VTime)
@@ -286,7 +305,11 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status) {
 		subscribed = append(subscribed, r)
 	}
 	if ready == nil {
-		ready = <-ch
+		select {
+		case ready = <-ch:
+		case <-c.world.abort:
+			panic(abortSignal{})
+		}
 	}
 	for _, r := range subscribed {
 		if r != ready {

@@ -82,5 +82,10 @@ func (c *Comm) Probe(src int, tag Tag) Status {
 	}
 	mb.probers = append(mb.probers, waiter)
 	mb.mu.Unlock()
-	return c.statusToComm(<-waiter.ch)
+	select {
+	case st := <-waiter.ch:
+		return c.statusToComm(st)
+	case <-c.world.abort:
+		panic(abortSignal{})
+	}
 }

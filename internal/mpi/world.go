@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -66,6 +67,9 @@ type World struct {
 	cost       *CostModel
 	eagerLimit int // messages above this rendezvous; 0 = everything eager
 
+	abort     chan struct{} // closed by Abort; unwinds every blocked rank
+	abortOnce sync.Once
+
 	commMu   sync.Mutex
 	commIDs  map[string]int
 	nextComm int
@@ -93,6 +97,7 @@ func NewWorld(size int, opts ...Option) *World {
 	w := &World{
 		size:     size,
 		boxes:    make([]*mailbox, size),
+		abort:    make(chan struct{}),
 		commIDs:  make(map[string]int),
 		nextComm: 1, // id 0 is the world communicator
 	}
@@ -112,6 +117,18 @@ func (w *World) Size() int { return w.size }
 // always means the rank program deadlocked.
 var ErrTimeout = errors.New("mpi: world timed out (deadlock?)")
 
+// abortSignal is the panic value a blocked rank unwinds with after Abort;
+// the rank launcher recovers it silently (the world-level error carries
+// the cause).
+type abortSignal struct{}
+
+// Abort unblocks every rank waiting inside the runtime; each unwinds its
+// goroutine and Run returns once all ranks have exited. Safe to call
+// multiple times and from any goroutine.
+func (w *World) Abort() {
+	w.abortOnce.Do(func() { close(w.abort) })
+}
+
 // rankError carries a rank panic out of Run.
 type rankError struct {
 	rank  int
@@ -129,6 +146,15 @@ func (e *rankError) Error() string {
 // error; remaining ranks may then block forever, so Run should normally be
 // combined with WithTimeout in tests.
 func (w *World) Run(fn func(*Comm)) error {
+	return w.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run with cancellation: when ctx is done before the ranks
+// finish, the world aborts — every rank blocked inside the runtime
+// unwinds, RunContext waits for all rank goroutines to exit, and returns
+// ctx.Err(). The same abort path serves WithTimeout, so a timed-out world
+// no longer leaks its rank goroutines.
+func (w *World) RunContext(ctx context.Context, fn func(*Comm)) error {
 	var (
 		wg    sync.WaitGroup
 		errMu sync.Mutex
@@ -144,9 +170,16 @@ func (w *World) Run(fn func(*Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
+					if _, ok := v.(abortSignal); ok {
+						return // deliberate unwind; the cause is reported by RunContext
+					}
 					errMu.Lock()
 					errs = append(errs, &rankError{rank: rank, value: v, stack: debug.Stack()})
 					errMu.Unlock()
+					// Peers may be blocked on traffic this rank will never
+					// send; unwind them so Run reports the real failure
+					// instead of a timeout.
+					w.Abort()
 				}
 			}()
 			c := &Comm{
@@ -167,14 +200,22 @@ func (w *World) Run(fn func(*Comm)) error {
 		wg.Wait()
 		close(done)
 	}()
+	var timeoutC <-chan time.Time
 	if w.timeout > 0 {
-		select {
-		case <-done:
-		case <-time.After(w.timeout):
-			return ErrTimeout
-		}
-	} else {
+		t := time.NewTimer(w.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		w.Abort()
 		<-done
+		return ctx.Err()
+	case <-timeoutC:
+		w.Abort()
+		<-done
+		return ErrTimeout
 	}
 	return errors.Join(errs...)
 }
@@ -319,9 +360,19 @@ func (r *Request) Done() bool {
 	return r.done
 }
 
-// wait blocks until completion and returns the status.
+// wait blocks until completion and returns the status. If the world is
+// aborted while blocked, the calling rank unwinds via abortSignal.
 func (r *Request) wait() Status {
-	<-r.doneCh
+	select {
+	case <-r.doneCh:
+	case <-r.comm.world.abort:
+		// Prefer a completion that raced with the abort.
+		select {
+		case <-r.doneCh:
+		default:
+			panic(abortSignal{})
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.status

@@ -181,16 +181,29 @@ func TDCSweep(w io.Writer, title string, series map[int][]topology.TDCStats) {
 		header = append(header, fmt.Sprintf("max %d", p), fmt.Sprintf("avg %d", p))
 	}
 	tbl := NewTable(header...)
-	if len(procs) == 0 {
-		tbl.Write(w)
-		return
+	// Series may be ragged (a sweep that failed partway at one scale);
+	// render every row any series has and dash out the gaps.
+	rows := 0
+	for _, s := range series {
+		if len(s) > rows {
+			rows = len(s)
+		}
 	}
-	for i := range series[procs[0]] {
-		row := []string{Bytes(series[procs[0]][i].Cutoff)}
+	for i := 0; i < rows; i++ {
+		cutoff := ""
+		row := make([]string, 1, 1+2*len(procs))
 		for _, p := range procs {
+			if i >= len(series[p]) {
+				row = append(row, "-", "-")
+				continue
+			}
 			st := series[p][i]
+			if cutoff == "" {
+				cutoff = Bytes(st.Cutoff)
+			}
 			row = append(row, fmt.Sprintf("%d", st.Max), fmt.Sprintf("%.1f", st.Avg))
 		}
+		row[0] = cutoff
 		tbl.AddRow(row...)
 	}
 	tbl.Write(w)

@@ -118,6 +118,51 @@ func TestTDCSweep(t *testing.T) {
 	}
 }
 
+// TestTDCSweepRagged covers series of unequal length: a sweep that failed
+// partway at one scale must render dashes, not panic.
+func TestTDCSweepRagged(t *testing.T) {
+	series := map[int][]topology.TDCStats{
+		64:  {{Cutoff: 0, Max: 6, Avg: 5}, {Cutoff: 2048, Max: 6, Avg: 5}},
+		256: {{Cutoff: 0, Max: 8, Avg: 7}},
+	}
+	var b strings.Builder
+	TDCSweep(&b, "ragged", series)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 data rows
+		t.Fatalf("ragged sweep rows %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[4], "-") {
+		t.Errorf("missing row not dashed out:\n%s", out)
+	}
+}
+
+// TestRenderByteStable guards the determinism the HTTP text endpoints and
+// CLI output rely on: re-rendering the same inputs must be byte-identical
+// (map-keyed series are sorted before iteration).
+func TestRenderByteStable(t *testing.T) {
+	series := map[int][]topology.TDCStats{
+		256: {{Cutoff: 0, Max: 8, Avg: 7}, {Cutoff: 2048, Max: 6, Avg: 5.5}},
+		64:  {{Cutoff: 0, Max: 6, Avg: 5}, {Cutoff: 2048, Max: 6, Avg: 5}},
+		128: {{Cutoff: 0, Max: 7, Avg: 6}, {Cutoff: 2048, Max: 6, Avg: 5.2}},
+	}
+	g := topology.NewGraph(16)
+	g.AddTraffic(0, 1, 1, 1<<20, 1<<20)
+	g.AddTraffic(9, 14, 3, 1<<12, 1<<12)
+	render := func() string {
+		var b strings.Builder
+		TDCSweep(&b, "stable", series)
+		Heatmap(&b, "hm", g, 8)
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs from first:\n--- first ---\n%s--- got ---\n%s", i, first, got)
+		}
+	}
+}
+
 func TestCallMixRender(t *testing.T) {
 	var b strings.Builder
 	CallMix(&b, "mix", []analysis.CallShare{

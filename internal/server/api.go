@@ -1,0 +1,134 @@
+// Package server implements hfastd, the HTTP JSON service exposing the
+// full paper pipeline: profile an application skeleton under the IPM
+// collector, provision an HFAST fabric for its steady-state topology,
+// and compare the result against fat-tree, mesh, and ICN baselines.
+//
+// Profiling at P=256 is expensive, so the service is built around three
+// mechanisms: a content-addressed LRU plan cache with in-flight request
+// coalescing (identical concurrent requests run the pipeline once), a
+// bounded worker pool whose overflow is shed with 429 + Retry-After, and
+// per-request deadlines whose cancellation propagates all the way into
+// the goroutine-based MPI runtime. A /metrics endpoint exposes request
+// counters, a latency histogram, cache statistics, and load gauges in
+// Prometheus text format.
+package server
+
+import (
+	"github.com/hfast-sim/hfast/internal/ipm"
+)
+
+// ProfileRequest selects an application skeleton run. It is the body of
+// POST /v1/profile and embedded in ProvisionRequest.
+type ProfileRequest struct {
+	App   string `json:"app"`
+	Procs int    `json:"procs"`
+	Steps int    `json:"steps,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	// TimeoutMS bounds this request's total latency in milliseconds
+	// (0 = server default). It is not part of the cache identity.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ProvisionRequest is the body of POST /v1/provision: either an app spec
+// to profile (Profile nil) or an uploaded ipm.Profile to provision
+// directly.
+type ProvisionRequest struct {
+	ProfileRequest
+	Cutoff    int          `json:"cutoff,omitempty"`
+	BlockSize int          `json:"block_size,omitempty"`
+	Profile   *ipm.Profile `json:"profile,omitempty"`
+}
+
+// AppResponse is one entry of GET /v1/apps.
+type AppResponse struct {
+	Name         string `json:"name"`
+	Discipline   string `json:"discipline"`
+	Problem      string `json:"problem"`
+	Structure    string `json:"structure"`
+	Case         string `json:"case"`
+	PaperLines   int    `json:"paper_lines"`
+	DefaultScale int    `json:"default_scale"`
+}
+
+// PortsResponse summarizes fabric port usage.
+type PortsResponse struct {
+	Active      int     `json:"active"`
+	UsedActive  int     `json:"used_active"`
+	Passive     int     `json:"passive"`
+	Utilization float64 `json:"utilization"`
+}
+
+// RouteResponse is a worst-case route length.
+type RouteResponse struct {
+	SBHops    int `json:"sb_hops"`
+	Crossings int `json:"crossings"`
+}
+
+// ProvisionResponse is the wiring plan summary of POST /v1/provision.
+type ProvisionResponse struct {
+	App           string        `json:"app"`
+	Procs         int           `json:"procs"`
+	Cutoff        int           `json:"cutoff"`
+	BlockSize     int           `json:"block_size"`
+	TotalBlocks   int           `json:"total_blocks"`
+	BlocksPerNode float64       `json:"blocks_per_node"`
+	Ports         PortsResponse `json:"ports"`
+	MaxRoute      RouteResponse `json:"max_route"`
+	SwitchPorts   int           `json:"switch_ports"`
+	LitPorts      int           `json:"lit_ports"`
+	Circuits      int           `json:"circuits"`
+	// Partners[i] lists node i's provisioned partner nodes; included
+	// only with ?detail=full.
+	Partners [][]int `json:"partners,omitempty"`
+}
+
+// CostResponse itemizes one design's cost.
+type CostResponse struct {
+	Active     float64 `json:"active"`
+	Passive    float64 `json:"passive"`
+	Collective float64 `json:"collective"`
+	NIC        float64 `json:"nic"`
+	Total      float64 `json:"total"`
+}
+
+// MeshResponse prices the 3D mesh/torus baseline.
+type MeshResponse struct {
+	Dims []int   `json:"dims"`
+	Cost float64 `json:"cost"`
+}
+
+// ICNResponse reports the bounded-degree ICN baseline's fit.
+type ICNResponse struct {
+	K                   int     `json:"k"`
+	Fits                bool    `json:"fits"`
+	MaxContraction      int     `json:"max_contraction"`
+	AvgContraction      float64 `json:"avg_contraction"`
+	OversubscribedEdges int     `json:"oversubscribed_edges"`
+	WorstShare          float64 `json:"worst_share"`
+	Error               string  `json:"error,omitempty"`
+}
+
+// CompareResponse is GET /v1/compare: HFAST against the three baselines.
+type CompareResponse struct {
+	App                 string        `json:"app"`
+	Procs               int           `json:"procs"`
+	Cutoff              int           `json:"cutoff"`
+	BlockSize           int           `json:"block_size"`
+	Blocks              int           `json:"blocks"`
+	MaxRoute            RouteResponse `json:"max_route"`
+	HFAST               CostResponse  `json:"hfast"`
+	FatTree             CostResponse  `json:"fat_tree"`
+	Ratio               float64       `json:"ratio"`
+	FatTreeLayers       int           `json:"fat_tree_layers"`
+	FatTreePortsPerProc int           `json:"fat_tree_ports_per_proc"`
+	Mesh                MeshResponse  `json:"mesh"`
+	ICN                 ICNResponse   `json:"icn"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}

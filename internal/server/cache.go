@@ -1,0 +1,156 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// outcome classifies how a cached computation was satisfied.
+type outcome int
+
+const (
+	outcomeMiss      outcome = iota // this request ran the pipeline
+	outcomeHit                      // served from the completed-plan cache
+	outcomeCoalesced                // attached to an identical in-flight run
+)
+
+// flight is one in-progress computation that identical requests attach to.
+type flight struct {
+	done   chan struct{}
+	val    any
+	err    error
+	cancel context.CancelFunc
+	// waiters counts requests still interested in the result; when the
+	// last one gives up (deadline, disconnect) the computation itself is
+	// cancelled so abandoned work doesn't occupy a worker slot.
+	waiters int
+}
+
+// planCache is a content-addressed LRU of completed pipeline results with
+// in-flight request coalescing: concurrent requests for the same key run
+// the computation exactly once, and the result is retained for later
+// identical requests until evicted.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element; element.Value is *cacheEntry
+	inflight map[string]*flight
+	wg       sync.WaitGroup // running flights, for shutdown draining
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the cached value for key, attaches to an identical in-flight
+// computation, or runs fn itself. fn receives a context detached from any
+// single request: it is cancelled only when every waiter has abandoned
+// the flight, so one impatient client cannot kill a result that other
+// clients (or the cache) still want... unless it is the only one.
+// Successful results enter the LRU; errors are never cached.
+func (c *planCache) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, outcomeHit, nil
+	}
+	f, joined := c.inflight[key]
+	how := outcomeCoalesced
+	if joined {
+		f.waiters++
+	} else {
+		how = outcomeMiss
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		c.inflight[key] = f
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			val, err := fn(fctx)
+			cancel()
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if err == nil {
+				c.addLocked(key, val)
+			}
+			f.val, f.err = val, err
+			close(f.done)
+			c.mu.Unlock()
+		}()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, how, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, how, ctx.Err()
+	}
+}
+
+// addLocked inserts a completed result, evicting the least recently used
+// entry beyond capacity. Callers hold c.mu.
+func (c *planCache) addLocked(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of completed entries.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// wait blocks until every in-flight computation has finished; used by
+// graceful shutdown after new requests are already being refused.
+func (c *planCache) wait() { c.wg.Wait() }
+
+// cacheKey derives a content-addressed key: kind plus the SHA-256 of the
+// canonical JSON encoding of v (struct field order is fixed, so equal
+// requests hash equally).
+func cacheKey(kind string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Request types are plain data; this cannot fail in practice.
+		b = []byte(fmt.Sprintf("%+v", v))
+	}
+	sum := sha256.Sum256(b)
+	return kind + ":" + hex.EncodeToString(sum[:12])
+}

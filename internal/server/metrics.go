@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// durationBuckets are the cumulative latency histogram upper bounds in
+// seconds. They span sub-millisecond cache hits through multi-minute
+// P=256 profiling runs.
+var durationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 120}
+
+// Metrics is the service's observability surface, rendered in Prometheus
+// text exposition format by WritePrometheus. Counters and the histogram are
+// mutex-guarded; gauges are atomics updated on the hot path.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[[2]string]uint64 // {path, code} → count
+	bucket   []uint64             // cumulative counts per durationBuckets entry
+	durSum   float64
+	durCount uint64
+
+	cacheHits   uint64 // served straight from the plan cache
+	cacheMisses uint64 // had to run the pipeline
+	coalesced   uint64 // attached to an identical in-flight request
+	runs        uint64 // pipeline executions actually started
+	rejected    uint64 // 429 backpressure responses
+	timeouts    uint64 // 504 deadline responses
+
+	inflight   atomic.Int64 // requests currently inside a handler
+	queueDepth atomic.Int64 // requests waiting for a worker slot
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[[2]string]uint64),
+		bucket:   make([]uint64, len(durationBuckets)),
+	}
+}
+
+// ObserveRequest records one finished request: its path, status code, and
+// wall-clock duration in seconds.
+func (m *Metrics) ObserveRequest(path string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[[2]string{path, strconv.Itoa(code)}]++
+	for i, ub := range durationBuckets {
+		if seconds <= ub {
+			m.bucket[i]++
+		}
+	}
+	m.durSum += seconds
+	m.durCount++
+}
+
+func (m *Metrics) addCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) addCacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *Metrics) addCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *Metrics) addRun()       { m.mu.Lock(); m.runs++; m.mu.Unlock() }
+func (m *Metrics) addRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *Metrics) addTimeout()   { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
+
+// Snapshot is a copy of the counters for tests and introspection.
+type Snapshot struct {
+	Requests    map[string]uint64 // "path code" → count
+	CacheHits   uint64
+	CacheMisses uint64
+	Coalesced   uint64
+	Runs        uint64
+	Rejected    uint64
+	Timeouts    uint64
+	DurCount    uint64
+	Inflight    int64
+	QueueDepth  int64
+}
+
+// Snapshot returns a consistent copy of every counter and gauge.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Requests:    make(map[string]uint64, len(m.requests)),
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMisses,
+		Coalesced:   m.coalesced,
+		Runs:        m.runs,
+		Rejected:    m.rejected,
+		Timeouts:    m.timeouts,
+		DurCount:    m.durCount,
+		Inflight:    m.inflight.Load(),
+		QueueDepth:  m.queueDepth.Load(),
+	}
+	for k, v := range m.requests {
+		s.Requests[k[0]+" "+k[1]] = v
+	}
+	return s
+}
+
+// WriteTo renders the Prometheus text exposition format. Output is
+// deterministic: series are sorted by label value.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP hfastd_requests_total HTTP requests served, by path and status code.")
+	fmt.Fprintln(w, "# TYPE hfastd_requests_total counter")
+	keys := make([][2]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "hfastd_requests_total{path=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP hfastd_request_duration_seconds Request latency histogram.")
+	fmt.Fprintln(w, "# TYPE hfastd_request_duration_seconds histogram")
+	for i, ub := range durationBuckets {
+		fmt.Fprintf(w, "hfastd_request_duration_seconds_bucket{le=%q} %d\n", formatBound(ub), m.bucket[i])
+	}
+	fmt.Fprintf(w, "hfastd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.durCount)
+	fmt.Fprintf(w, "hfastd_request_duration_seconds_sum %g\n", m.durSum)
+	fmt.Fprintf(w, "hfastd_request_duration_seconds_count %d\n", m.durCount)
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("hfastd_cache_hits_total", "Requests served from the plan cache.", m.cacheHits)
+	counter("hfastd_cache_misses_total", "Requests that had to run the pipeline.", m.cacheMisses)
+	counter("hfastd_coalesced_waiters_total", "Requests attached to an identical in-flight computation.", m.coalesced)
+	counter("hfastd_pipeline_runs_total", "Profiling/provisioning pipeline executions started.", m.runs)
+	counter("hfastd_rejected_total", "Requests rejected with 429 by worker-pool backpressure.", m.rejected)
+	counter("hfastd_timeouts_total", "Requests that exceeded their deadline (504).", m.timeouts)
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("hfastd_inflight_requests", "Requests currently being handled.", m.inflight.Load())
+	gauge("hfastd_queue_depth", "Requests waiting for a worker slot.", m.queueDepth.Load())
+}
+
+// formatBound renders a histogram bound the way Prometheus clients do
+// ("0.001", not "1e-03"); 'f' with -1 precision never emits trailing
+// zeros.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,623 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	core "github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/icn"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// Runner executes one profiling run; injectable so tests can count and
+// pace pipeline executions.
+type Runner func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error)
+
+// Config tunes the service. Zero values select the defaults.
+type Config struct {
+	// Workers bounds concurrent pipeline executions
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; beyond it
+	// requests are shed with 429 (default: 4×Workers).
+	QueueDepth int
+	// CacheEntries is the LRU plan-cache capacity (default: 128).
+	CacheEntries int
+	// DefaultTimeout bounds requests that carry no timeout_ms
+	// (default: 2m). MaxTimeout caps client-supplied deadlines
+	// (default: 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxProcs rejects absurd world sizes before any work starts
+	// (default: 1024).
+	MaxProcs int
+	// Runner overrides the profiling pipeline (default:
+	// apps.ProfileRunContext).
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 1024
+	}
+	if c.Runner == nil {
+		c.Runner = func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			return apps.ProfileRunContext(ctx, app, cfg)
+		}
+	}
+	return c
+}
+
+// Server is the hfastd HTTP service. Create with New, mount Handler, and
+// call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	pool     *pool
+	cache    *planCache
+	mux      *http.ServeMux
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		pool:    newPool(cfg.Workers, cfg.QueueDepth, m),
+		cache:   newPlanCache(cfg.CacheEntries),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/apps", s.handleApps)
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/v1/provision", s.handleProvision)
+	s.mux.HandleFunc("/v1/compare", s.handleCompare)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Metrics exposes the server's counters for tests and embedding.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the root handler: request accounting wrapped around the
+// route mux.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.inflight.Add(1)
+	s.metrics.inflight.Add(1)
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	path := routeLabel(r.URL.Path)
+	if s.draining.Load() && path != "/metrics" && path != "/healthz" {
+		s.writeError(rec, http.StatusServiceUnavailable, "server is draining", s.retryAfterSeconds())
+	} else {
+		s.mux.ServeHTTP(rec, r)
+	}
+	s.metrics.inflight.Add(-1)
+	s.inflight.Done()
+	s.metrics.ObserveRequest(path, rec.code, time.Since(start).Seconds())
+}
+
+// routeLabel bounds metric label cardinality to the known routes.
+func routeLabel(p string) string {
+	switch p {
+	case "/v1/apps", "/v1/profile", "/v1/provision", "/v1/compare", "/metrics", "/healthz":
+		return p
+	}
+	return "other"
+}
+
+// Shutdown drains the service: new requests are refused with 503 while
+// in-flight handlers, queued work, and running pipeline flights complete.
+// It returns ctx.Err() if the drain outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.cache.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.pool.close()
+		return ctx.Err()
+	}
+	s.pool.close()
+	return nil
+}
+
+// --- request plumbing ---
+
+// requestContext applies the per-request deadline: timeout_ms from the
+// query (or body, pre-parsed into ms) clamped to MaxTimeout, else the
+// server default.
+func (s *Server) requestContext(r *http.Request, bodyMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	ms := bodyMS
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		if v, err := strconv.ParseInt(q, 10, 64); err == nil {
+			ms = v
+		}
+	}
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// retryAfterSeconds estimates when shed load is worth retrying: one
+// second per queued request, at least 1, at most 60.
+func (s *Server) retryAfterSeconds() int {
+	secs := 1 + s.pool.queueDepth()
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	s.writeJSON(w, code, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
+
+// writePipelineError maps pipeline failures to HTTP semantics: pool
+// saturation → 429 + Retry-After, missed deadline → 504, bad input → 400.
+func (s *Server) writePipelineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed):
+		s.metrics.addRejected()
+		s.writeError(w, http.StatusTooManyRequests, "all workers busy and queue full; retry later", s.retryAfterSeconds())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.addTimeout()
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the pipeline finished", 0)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the code is for the access log only.
+		s.writeError(w, http.StatusGatewayTimeout, "request canceled", 0)
+	default:
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+}
+
+func (s *Server) recordOutcome(how outcome) {
+	switch how {
+	case outcomeHit:
+		s.metrics.addCacheHit()
+	case outcomeMiss:
+		s.metrics.addCacheMiss()
+	case outcomeCoalesced:
+		s.metrics.addCoalesced()
+	}
+}
+
+// validateProfileRequest normalizes and checks an app-spec request.
+func (s *Server) validateProfileRequest(req *ProfileRequest) error {
+	if req.App == "" {
+		return errors.New("missing \"app\"")
+	}
+	if _, err := apps.Lookup(req.App); err != nil {
+		return err
+	}
+	if req.Procs <= 0 {
+		return fmt.Errorf("\"procs\" must be positive, got %d", req.Procs)
+	}
+	if req.Procs > s.cfg.MaxProcs {
+		return fmt.Errorf("\"procs\" %d exceeds the server limit %d", req.Procs, s.cfg.MaxProcs)
+	}
+	return nil
+}
+
+// profileIdentity is the cache identity of a profiling run (deadline
+// excluded: it bounds the request, not the result).
+type profileIdentity struct {
+	App   string
+	Procs int
+	Steps int
+	Scale int
+	Seed  int64
+}
+
+func identityOf(req ProfileRequest) profileIdentity {
+	return profileIdentity{App: req.App, Procs: req.Procs, Steps: req.Steps, Scale: req.Scale, Seed: req.Seed}
+}
+
+// profileFor returns the (cached) profile for an app spec, running the
+// pipeline under a worker slot on a miss.
+func (s *Server) profileFor(ctx context.Context, req ProfileRequest) (*ipm.Profile, outcome, error) {
+	key := cacheKey("profile", identityOf(req))
+	v, how, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+		if err := s.pool.acquire(fctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.release()
+		s.metrics.addRun()
+		return s.cfg.Runner(fctx, req.App, apps.Config{
+			Procs: req.Procs, Steps: req.Steps, Scale: req.Scale, Seed: req.Seed,
+		})
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.(*ipm.Profile), how, nil
+}
+
+// planArtifact is the cached output of a provisioning run.
+type planArtifact struct {
+	app    string
+	procs  int
+	assign *core.Assignment
+	wiring *core.Wiring
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET", 0)
+		return
+	}
+	out := make([]AppResponse, 0, len(apps.Registry))
+	for _, in := range apps.Registry {
+		out = append(out, AppResponse{
+			Name:         in.Name,
+			Discipline:   in.Discipline,
+			Problem:      in.Problem,
+			Structure:    in.Structure,
+			Case:         in.Case,
+			PaperLines:   in.PaperLines,
+			DefaultScale: in.DefaultScale,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST", 0)
+		return
+	}
+	var req ProfileRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	if err := s.validateProfileRequest(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	prof, how, err := s.profileFor(ctx, req)
+	s.recordOutcome(how)
+	if err != nil {
+		s.writePipelineError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	prof.WriteJSON(w)
+}
+
+func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST", 0)
+		return
+	}
+	var req ProvisionRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	if req.BlockSize == 0 {
+		req.BlockSize = core.DefaultBlockSize
+	}
+	if req.Cutoff == 0 {
+		req.Cutoff = topology.DefaultCutoff
+	}
+
+	var key string
+	var build func(context.Context) (any, error)
+	switch {
+	case req.Profile != nil:
+		// Uploaded profile: content-address its canonical encoding; no
+		// worker slot needed, provisioning is cheap.
+		var canon bytes.Buffer
+		if err := req.Profile.WriteJSON(&canon); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("re-encoding uploaded profile: %v", err), 0)
+			return
+		}
+		key = cacheKey("plan-upload", struct {
+			Hash      string
+			Cutoff    int
+			BlockSize int
+		}{cacheKey("blob", canon.String()), req.Cutoff, req.BlockSize})
+		prof := req.Profile
+		build = func(fctx context.Context) (any, error) {
+			return buildPlan(prof, req.Cutoff, req.BlockSize)
+		}
+	default:
+		if err := s.validateProfileRequest(&req.ProfileRequest); err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+			return
+		}
+		key = cacheKey("plan", struct {
+			Profile   profileIdentity
+			Cutoff    int
+			BlockSize int
+		}{identityOf(req.ProfileRequest), req.Cutoff, req.BlockSize})
+		build = func(fctx context.Context) (any, error) {
+			prof, _, err := s.profileFor(fctx, req.ProfileRequest)
+			if err != nil {
+				return nil, err
+			}
+			return buildPlan(prof, req.Cutoff, req.BlockSize)
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	v, how, err := s.cache.do(ctx, key, build)
+	s.recordOutcome(how)
+	if err != nil {
+		s.writePipelineError(w, err)
+		return
+	}
+	art := v.(*planArtifact)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writePlanText(w, art)
+		return
+	}
+	resp := planResponse(art)
+	if r.URL.Query().Get("detail") == "full" {
+		resp.Partners = art.assign.Partners
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET", 0)
+		return
+	}
+	q := r.URL.Query()
+	req := ProfileRequest{App: q.Get("app")}
+	var err error
+	if req.Procs, err = intParam(q.Get("procs"), 64); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("procs: %v", err), 0)
+		return
+	}
+	if req.Steps, err = intParam(q.Get("steps"), 0); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("steps: %v", err), 0)
+		return
+	}
+	cutoff, err := intParam(q.Get("cutoff"), topology.DefaultCutoff)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("cutoff: %v", err), 0)
+		return
+	}
+	blockSize, err := intParam(q.Get("blocksize"), core.DefaultBlockSize)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("blocksize: %v", err), 0)
+		return
+	}
+	if err := s.validateProfileRequest(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+
+	key := cacheKey("compare", struct {
+		Profile   profileIdentity
+		Cutoff    int
+		BlockSize int
+	}{identityOf(req), cutoff, blockSize})
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	v, how, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+		prof, _, err := s.profileFor(fctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return buildComparison(prof, cutoff, blockSize)
+	})
+	s.recordOutcome(how)
+	if err != nil {
+		s.writePipelineError(w, err)
+		return
+	}
+	resp := v.(*CompareResponse)
+	if q.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeCompareText(w, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// --- pipeline builders ---
+
+// buildPlan provisions a fabric and its physical wiring for a profile's
+// steady-state topology.
+func buildPlan(prof *ipm.Profile, cutoff, blockSize int) (*planArtifact, error) {
+	g := topology.FromProfile(prof, ipm.SteadyState)
+	a, err := core.Assign(g, cutoff, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	wiring, err := core.Wire(a)
+	if err != nil {
+		return nil, err
+	}
+	return &planArtifact{app: prof.App, procs: prof.Procs, assign: a, wiring: wiring}, nil
+}
+
+func planResponse(art *planArtifact) *ProvisionResponse {
+	a := art.assign
+	u := a.Ports()
+	max := a.MaxRoute()
+	return &ProvisionResponse{
+		App:           art.app,
+		Procs:         art.procs,
+		Cutoff:        a.Cutoff,
+		BlockSize:     a.BlockSize,
+		TotalBlocks:   a.TotalBlocks,
+		BlocksPerNode: float64(a.TotalBlocks) / float64(a.P),
+		Ports: PortsResponse{
+			Active:      u.ActivePorts,
+			UsedActive:  u.UsedActivePorts,
+			Passive:     u.PassivePorts,
+			Utilization: u.Utilization(),
+		},
+		MaxRoute:    RouteResponse{SBHops: max.SBHops, Crossings: max.Crossings},
+		SwitchPorts: art.wiring.Switch.Ports(),
+		LitPorts:    art.wiring.Switch.LitPorts(),
+		Circuits:    art.wiring.Switch.LitPorts() / 2,
+	}
+}
+
+// buildComparison prices a profile's HFAST fabric against the fat-tree,
+// mesh, and ICN baselines.
+func buildComparison(prof *ipm.Profile, cutoff, blockSize int) (*CompareResponse, error) {
+	params := core.DefaultParams()
+	params.BlockSize = blockSize
+	g := topology.FromProfile(prof, ipm.SteadyState)
+	a, err := core.Assign(g, cutoff, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := core.Compare(a, params)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := meshtorus.New(meshtorus.NearCube(prof.Procs, 3), true)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CompareResponse{
+		App:       prof.App,
+		Procs:     prof.Procs,
+		Cutoff:    a.Cutoff,
+		BlockSize: blockSize,
+		Blocks:    cmp.Blocks,
+		MaxRoute:  RouteResponse{SBHops: cmp.MaxRoute.SBHops, Crossings: cmp.MaxRoute.Crossings},
+		HFAST: CostResponse{
+			Active: cmp.HFAST.Active, Passive: cmp.HFAST.Passive,
+			Collective: cmp.HFAST.Collective, NIC: cmp.HFAST.NIC, Total: cmp.HFAST.Total(),
+		},
+		FatTree: CostResponse{
+			Active: cmp.FatTree.Active, Passive: cmp.FatTree.Passive,
+			Collective: cmp.FatTree.Collective, NIC: cmp.FatTree.NIC, Total: cmp.FatTree.Total(),
+		},
+		Ratio:               cmp.Ratio(),
+		FatTreeLayers:       cmp.Tree.Layers,
+		FatTreePortsPerProc: cmp.Tree.PortsPerProc(),
+		Mesh:                MeshResponse{Dims: mesh.Dims, Cost: mesh.Cost(params.ActivePortCost)},
+		ICN:                 ICNResponse{K: blockSize},
+	}
+	if n, err := icn.Partition(g, a.Cutoff, blockSize); err != nil {
+		resp.ICN.Error = err.Error()
+	} else {
+		c := n.Contract(g, a.Cutoff)
+		resp.ICN = ICNResponse{
+			K: blockSize, Fits: c.Fits,
+			MaxContraction: c.Max, AvgContraction: c.Avg,
+			OversubscribedEdges: c.OversubscribedEdges, WorstShare: c.WorstShare,
+		}
+	}
+	return resp, nil
+}
+
+// --- helpers ---
+
+// decodeBody parses a JSON request body with a size cap; uploaded P=256
+// profiles run to a few tens of MB.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
