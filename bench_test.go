@@ -12,6 +12,7 @@ package hfast_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -34,19 +35,17 @@ var (
 )
 
 // benchRunner returns the shared profile cache, pre-warming every
-// application at both paper sizes outside any benchmark timer.
+// application at both paper sizes outside any benchmark timer. The
+// warm-up fans out across cores; profiles are deterministic, so the
+// cache contents match a serial warm-up byte for byte.
 func benchRunner(b *testing.B) *experiments.Runner {
 	b.Helper()
 	runnerOnce.Do(func() {
 		runner = experiments.NewRunner(0)
 	})
 	b.StopTimer()
-	for _, app := range []string{"cactus", "lbmhd", "gtc", "superlu", "pmemd", "paratec"} {
-		for _, p := range experiments.PaperProcs {
-			if _, err := runner.Profile(app, p); err != nil {
-				b.Fatalf("profiling %s/%d: %v", app, p, err)
-			}
-		}
+	if err := runner.WarmAll(context.Background(), experiments.PaperSpecs(), 0); err != nil {
+		b.Fatalf("pre-warming profiles: %v", err)
 	}
 	b.StartTimer()
 	return runner

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	hfastd -addr :8080 -workers 4 -queue 16 -cache 128
+//	hfastd -prewarm   # profile the paper workloads before serving
 //
 //	curl -s localhost:8080/v1/apps
 //	curl -s -X POST localhost:8080/v1/provision -d '{"app":"gtc","procs":64}'
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hfast-sim/hfast/internal/experiments"
 	"github.com/hfast-sim/hfast/internal/server"
 )
 
@@ -39,11 +41,24 @@ func main() {
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "cap on client-supplied deadlines")
 	maxProcs := fs.Int("max-procs", 1024, "largest accepted world size")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	prewarm := fs.Bool("prewarm", false, "profile the paper workloads before serving")
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "hfastd: unexpected argument %q\n", fs.Arg(0))
 		fs.Usage()
 		os.Exit(2)
+	}
+
+	// All default-parameter profiling goes through one shared runner, so a
+	// pre-warmed cache also serves cold /v1/provision requests.
+	profiles := experiments.NewRunner(0)
+	if *prewarm {
+		start := time.Now()
+		if err := profiles.WarmAll(context.Background(), experiments.PaperSpecs(), *workers); err != nil {
+			log.Fatalf("hfastd: prewarm: %v", err)
+		}
+		log.Printf("hfastd: pre-warmed %d paper profiles in %v",
+			len(experiments.PaperSpecs()), time.Since(start).Round(time.Millisecond))
 	}
 
 	svc := server.New(server.Config{
@@ -53,6 +68,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxProcs:       *maxProcs,
+		Runner:         profiles.ServeProfile,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"testing"
+)
+
+// BenchmarkProfileRun times the full generate-and-measure loop — run a
+// skeleton on the mpi runtime under the IPM collector — for every app at
+// a modest size. allocs/op is the headline: nearly all of it is the
+// per-message envelope/request churn plus collector map traffic.
+func BenchmarkProfileRun(b *testing.B) {
+	for _, in := range Registry {
+		b.Run(in.Name, func(b *testing.B) {
+			cfg := Config{Procs: 16, Steps: 4}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ProfileRun(in.Name, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchSpecs is the warm-up grid used by the WarmAll benchmarks: the
+// six paper applications at a size small enough to iterate, but large
+// enough that per-profile work dominates pool overhead.
+func benchSpecs() []Spec {
+	specs := make([]Spec, 0, len(PaperApps))
+	for _, app := range PaperApps {
+		specs = append(specs, Spec{App: app, Procs: 16})
+	}
+	return specs
+}
+
+// BenchmarkWarmAll measures the profile pre-warm with a cold cache each
+// iteration, serial (workers=1) versus one worker per core (workers=0).
+// On a multi-core runner the parallel case should approach workers×
+// speedup, because the six skeleton runs are independent.
+func BenchmarkWarmAll(b *testing.B) {
+	specs := benchSpecs()
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := NewRunner(2)
+				if err := r.WarmAll(context.Background(), specs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmAllCached measures the all-hits path: every spec already
+// resident, so an iteration is pure cache lookups and pool scheduling.
+func BenchmarkWarmAllCached(b *testing.B) {
+	specs := benchSpecs()
+	r := NewRunner(2)
+	if err := r.WarmAll(context.Background(), specs, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WarmAll(context.Background(), specs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

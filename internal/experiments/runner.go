@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/hfast-sim/hfast/internal/apps"
@@ -16,34 +18,157 @@ import (
 // PaperProcs are the two concurrencies the paper evaluates throughout.
 var PaperProcs = []int{64, 256}
 
+// PaperApps lists the six Table 2 skeletons in paper order.
+var PaperApps = apps.Names()
+
+// Spec identifies one application profile by app name and world size.
+type Spec struct {
+	App   string
+	Procs int
+}
+
+// PaperSpecs returns the twelve app x size profiles behind the paper's
+// tables and figures (six applications at both paper concurrencies).
+func PaperSpecs() []Spec {
+	specs := make([]Spec, 0, len(PaperApps)*len(PaperProcs))
+	for _, app := range PaperApps {
+		for _, p := range PaperProcs {
+			specs = append(specs, Spec{App: app, Procs: p})
+		}
+	}
+	return specs
+}
+
 // Runner executes and caches application profiles so one process can
-// regenerate many artifacts without re-running the skeletons.
+// regenerate many artifacts without re-running the skeletons. Concurrent
+// requests for the same profile coalesce onto a single run.
 type Runner struct {
-	mu    sync.Mutex
-	steps int
-	cache map[string]*ipm.Profile
+	steps    int
+	mu       sync.Mutex
+	cache    map[string]*ipm.Profile
+	inflight map[string]*profileFlight
+}
+
+// profileFlight is one in-progress skeleton run; duplicate requests wait
+// on done instead of starting their own run.
+type profileFlight struct {
+	done chan struct{}
+	p    *ipm.Profile
+	err  error
 }
 
 // NewRunner creates a runner; steps ≤ 0 uses the skeleton default.
 func NewRunner(steps int) *Runner {
-	return &Runner{steps: steps, cache: make(map[string]*ipm.Profile)}
+	return &Runner{
+		steps:    steps,
+		cache:    make(map[string]*ipm.Profile),
+		inflight: make(map[string]*profileFlight),
+	}
 }
 
 // Profile returns the (cached) profile of an application at a size.
 func (r *Runner) Profile(app string, procs int) (*ipm.Profile, error) {
+	return r.ProfileContext(context.Background(), app, procs)
+}
+
+// ProfileContext is Profile with cancellation. A duplicate of an
+// in-flight run waits for that run rather than recomputing; if ctx ends
+// first the caller gets ctx.Err() while the run itself continues for the
+// requester that started it. Errors are never cached.
+func (r *Runner) ProfileContext(ctx context.Context, app string, procs int) (*ipm.Profile, error) {
 	key := fmt.Sprintf("%s/%d", app, procs)
 	r.mu.Lock()
-	p, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
+	if p, ok := r.cache[key]; ok {
+		r.mu.Unlock()
 		return p, nil
 	}
-	p, err := apps.ProfileRun(app, apps.Config{Procs: procs, Steps: r.steps})
-	if err != nil {
-		return nil, err
+	if f, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.p, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	r.mu.Lock()
-	r.cache[key] = p
+	f := &profileFlight{done: make(chan struct{})}
+	r.inflight[key] = f
 	r.mu.Unlock()
-	return p, nil
+
+	f.p, f.err = apps.ProfileRunContext(ctx, app, apps.Config{Procs: procs, Steps: r.steps})
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if f.err == nil {
+		r.cache[key] = f.p
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return f.p, f.err
+}
+
+// WarmAll computes the given profiles concurrently on a bounded worker
+// pool (workers ≤ 0 selects GOMAXPROCS), coalescing duplicates through
+// the runner's in-flight table. Profiles are per-rank deterministic, so
+// a parallel warm-up is byte-identical to serial runs — only wall-clock
+// changes. The first error cancels the remaining work and is returned.
+func (r *Runner) WarmAll(ctx context.Context, specs []Spec, workers int) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work := make(chan Spec)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				if _, err := r.ProfileContext(ctx, s.App, s.Procs); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for _, s := range specs {
+		select {
+		case work <- s:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// ServeProfile adapts the runner to the hfastd server's Runner injection
+// point: default-parameter requests (scale and seed zero, steps matching
+// the runner's) are served from the shared warm cache with in-flight
+// coalescing, so a pre-warmed daemon answers cold /v1/provision requests
+// for the paper workloads without re-profiling. Anything else falls
+// through to a fresh pipeline run.
+func (r *Runner) ServeProfile(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+	if cfg.Scale == 0 && cfg.Seed == 0 && cfg.Steps == r.steps {
+		return r.ProfileContext(ctx, app, cfg.Procs)
+	}
+	return apps.ProfileRunContext(ctx, app, cfg)
 }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+)
+
+// smallSpecs is a fast grid for runner tests: every app at a size that
+// profiles in milliseconds.
+func smallSpecs() []Spec {
+	specs := make([]Spec, 0, len(PaperApps))
+	for _, app := range PaperApps {
+		specs = append(specs, Spec{App: app, Procs: 8})
+	}
+	return specs
+}
+
+func TestPaperSpecsCoverGrid(t *testing.T) {
+	specs := PaperSpecs()
+	if len(specs) != len(PaperApps)*len(PaperProcs) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(PaperApps)*len(PaperProcs))
+	}
+	seen := make(map[Spec]bool)
+	for _, s := range specs {
+		if seen[s] {
+			t.Fatalf("duplicate spec %+v", s)
+		}
+		seen[s] = true
+	}
+}
+
+// wildcardApps receive with AnySource (SuperLU pivots, PMEMD's master):
+// which send matches first depends on goroutine scheduling, so per-entry
+// time attribution varies between any two runs, parallel or serial.
+var wildcardApps = map[string]bool{"superlu": true, "pmemd": true}
+
+// TestWarmAllMatchesSerial pins the determinism argument for the
+// parallel warm-up: a profile computed under WarmAll's worker pool must
+// be byte-identical (canonical JSON) to one computed alone — each spec
+// runs in its own isolated mpi.World, so concurrency outside the world
+// cannot leak in. Apps with wildcard receives are nondeterministic even
+// serially; for those only scheduling-independent aggregates can be
+// compared.
+func TestWarmAllMatchesSerial(t *testing.T) {
+	specs := smallSpecs()
+	warm := NewRunner(2)
+	if err := warm.WarmAll(context.Background(), specs, 4); err != nil {
+		t.Fatalf("WarmAll: %v", err)
+	}
+	for _, s := range specs {
+		parallel, err := warm.Profile(s.App, s.Procs)
+		if err != nil {
+			t.Fatalf("warm profile %v: %v", s, err)
+		}
+		serial, err := apps.ProfileRun(s.App, apps.Config{Procs: s.Procs, Steps: 2})
+		if err != nil {
+			t.Fatalf("serial profile %v: %v", s, err)
+		}
+		if wildcardApps[s.App] {
+			if got, want := parallel.TotalCalls(ipm.AllRegions), serial.TotalCalls(ipm.AllRegions); got != want {
+				t.Errorf("%s/%d: call totals diverge: %d vs %d", s.App, s.Procs, got, want)
+			}
+			continue
+		}
+		var a, b bytes.Buffer
+		if err := parallel.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s/%d: parallel warm-up not byte-identical to serial run", s.App, s.Procs)
+		}
+	}
+}
+
+// TestWarmAllCoalescesDuplicates checks that duplicate specs in one
+// warm-up (and a second warm-up over the same grid) do not re-run the
+// pipeline.
+func TestWarmAllCoalescesDuplicates(t *testing.T) {
+	var runs atomic.Int64
+	r := NewRunner(1)
+	specs := []Spec{{"cactus", 8}, {"cactus", 8}, {"cactus", 8}, {"gtc", 8}}
+	// Count actual pipeline executions by pre-counting cache state: every
+	// cache miss runs exactly one skeleton, so the cache length afterwards
+	// is the run count for a fresh runner.
+	if err := r.WarmAll(context.Background(), specs, 4); err != nil {
+		t.Fatalf("WarmAll: %v", err)
+	}
+	r.mu.Lock()
+	runs.Store(int64(len(r.cache)))
+	r.mu.Unlock()
+	if runs.Load() != 2 {
+		t.Fatalf("expected 2 distinct runs, cache holds %d", runs.Load())
+	}
+	// A second pass is all cache hits; it must not error or grow the cache.
+	if err := r.WarmAll(context.Background(), specs, 2); err != nil {
+		t.Fatalf("second WarmAll: %v", err)
+	}
+	r.mu.Lock()
+	after := len(r.cache)
+	r.mu.Unlock()
+	if after != 2 {
+		t.Fatalf("second warm-up grew the cache to %d", after)
+	}
+}
+
+func TestWarmAllPropagatesError(t *testing.T) {
+	r := NewRunner(1)
+	err := r.WarmAll(context.Background(), []Spec{{"cactus", 8}, {"no-such-app", 8}}, 2)
+	if err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestWarmAllHonorsCancellation(t *testing.T) {
+	r := NewRunner(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := r.WarmAll(ctx, PaperSpecs(), 2)
+	if err == nil {
+		t.Fatal("expected error from canceled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestServeProfileUsesSharedCache(t *testing.T) {
+	r := NewRunner(0)
+	p1, err := r.ServeProfile(context.Background(), "cactus", apps.Config{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.ServeProfile(context.Background(), "cactus", apps.Config{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("default-parameter requests should share one cached profile")
+	}
+	// Non-default parameters bypass the shared cache.
+	p3, err := r.ServeProfile(context.Background(), "cactus", apps.Config{Procs: 8, Steps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("custom-steps request must not be served from the default cache")
+	}
+	var n int
+	r.mu.Lock()
+	n = len(r.cache)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Errorf("cache holds %d entries, want 1", n)
+	}
+}

@@ -1,0 +1,52 @@
+package ipm
+
+import (
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/mpi"
+)
+
+// BenchmarkCollectorEvent measures the per-event collection cost in the
+// common case of a tight stencil loop re-hitting one signature: the
+// last-key memo should make repeats cheaper than a map lookup.
+func BenchmarkCollectorEvent(b *testing.B) {
+	c := NewCollector(0, 0)
+	e := mpi.Event{Call: mpi.CallSend, Peer: 3, Bytes: 8192, Region: "step001", T: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.T += 1e-6
+		c.Event(e)
+	}
+}
+
+// BenchmarkCollectorEventMixed rotates through a small working set of
+// signatures, the shape of a halo exchange with a few partners.
+func BenchmarkCollectorEventMixed(b *testing.B) {
+	c := NewCollector(0, 0)
+	events := []mpi.Event{
+		{Call: mpi.CallIrecv, Peer: 1, Bytes: 0, Region: "step001"},
+		{Call: mpi.CallIrecv, Peer: 2, Bytes: 0, Region: "step001"},
+		{Call: mpi.CallIsend, Peer: 1, Bytes: 8192, Region: "step001"},
+		{Call: mpi.CallIsend, Peer: 2, Bytes: 8192, Region: "step001"},
+		{Call: mpi.CallWaitall, Peer: mpi.NoPeer, Bytes: 0, Region: "step001"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := events[i%len(events)]
+		e.T = float64(i) * 1e-6
+		c.Event(e)
+	}
+}
+
+// BenchmarkCollectorEventOverflow drives the hash past capacity so every
+// event takes the coarsening (or catch-all) slow path.
+func BenchmarkCollectorEventOverflow(b *testing.B) {
+	c := NewCollector(0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Event(mpi.Event{Call: mpi.CallSend, Peer: i % 512, Bytes: 1000 + i%4096, T: float64(i) * 1e-6})
+	}
+}

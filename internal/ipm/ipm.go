@@ -18,6 +18,8 @@ package ipm
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -62,6 +64,13 @@ type Collector struct {
 	entries map[Key]*Stat
 	spilled int64   // events that required catch-all folding
 	lastT   float64 // previous event's virtual clock, for time attribution
+
+	// lastKey/lastStat memoize the entry the previous event folded into
+	// (exact-signature hits only): a tight stencil loop re-hits the same
+	// (call, bytes, peer, region) signature, so repeats skip the map.
+	lastKey  Key
+	lastStat *Stat
+	regions  map[string]string // interned region names
 }
 
 // NewCollector creates a collector for one rank with the given hash
@@ -74,7 +83,22 @@ func NewCollector(rank, capacity int) *Collector {
 		rank:    rank,
 		cap:     capacity,
 		entries: make(map[Key]*Stat),
+		regions: make(map[string]string),
 	}
+}
+
+// intern maps a region name to one canonical string per collector, so
+// every Key holds the same string header and key comparisons hit the
+// pointer-equality fast path.
+func (c *Collector) intern(region string) string {
+	if region == "" {
+		return ""
+	}
+	if s, ok := c.regions[region]; ok {
+		return s
+	}
+	c.regions[region] = region
+	return region
 }
 
 // Event records one communication event; it is called by the mpi runtime
@@ -90,14 +114,26 @@ func (c *Collector) Event(e mpi.Event) {
 		c.lastT = e.T
 	}
 	key := Key{Call: e.Call, Bytes: e.Bytes, Peer: e.Peer, Region: e.Region}
+	if c.lastStat != nil && key == c.lastKey {
+		c.lastStat.Count++
+		c.lastStat.TotalBytes += int64(e.Bytes)
+		c.lastStat.Time += dt
+		return
+	}
+	key.Region = c.intern(e.Region)
 	if st, ok := c.entries[key]; ok {
+		c.lastKey, c.lastStat = key, st
 		st.Count++
 		st.TotalBytes += int64(e.Bytes)
 		st.Time += dt
 		return
 	}
+	exact := true
 	if len(c.entries) >= c.cap {
-		// Coarsen: round the size to its power-of-two bucket.
+		// Coarsen: round the size to its power-of-two bucket. Folded
+		// entries never enter the memo — their stat updates differ
+		// (MaxBytes tracking) from the exact-signature fast path.
+		exact = false
 		key.Bytes = pow2Bucket(e.Bytes)
 		if st, ok := c.entries[key]; ok {
 			st.Count++
@@ -109,7 +145,7 @@ func (c *Collector) Event(e mpi.Event) {
 			return
 		}
 		// Catch-all: per-call bucket with no peer.
-		key = Key{Call: e.Call, Bytes: -1, Peer: mpi.NoPeer, Region: e.Region}
+		key = Key{Call: e.Call, Bytes: -1, Peer: mpi.NoPeer, Region: key.Region}
 		c.spilled++
 		if st, ok := c.entries[key]; ok {
 			st.Count++
@@ -123,19 +159,25 @@ func (c *Collector) Event(e mpi.Event) {
 		// The catch-all itself still fits: it adds at most one entry per
 		// (call, region) pair.
 	}
-	c.entries[key] = &Stat{Count: 1, TotalBytes: int64(e.Bytes), MaxBytes: e.Bytes, Time: dt}
+	st := &Stat{Count: 1, TotalBytes: int64(e.Bytes), MaxBytes: e.Bytes, Time: dt}
+	c.entries[key] = st
+	if exact {
+		c.lastKey, c.lastStat = key, st
+	}
 }
 
-// pow2Bucket rounds n up to the nearest power of two (0 stays 0).
+// pow2Bucket rounds n up to the nearest power of two (0 stays 0). Values
+// whose next power of two does not fit in an int saturate to MaxInt, so
+// pathological sizes cannot wedge the coarsening path.
 func pow2Bucket(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	b := 1
-	for b < n {
-		b <<= 1
+	s := bits.Len(uint(n - 1))
+	if s >= bits.UintSize-1 {
+		return math.MaxInt
 	}
-	return b
+	return 1 << s
 }
 
 // CollectorSet builds one Collector per rank and assembles their output.

@@ -2,6 +2,8 @@ package ipm
 
 import (
 	"bytes"
+	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 	"time"
@@ -206,6 +208,123 @@ func TestPow2Bucket(t *testing.T) {
 		if got := pow2Bucket(in); got != want {
 			t.Errorf("pow2Bucket(%d) = %d, want %d", in, got, want)
 		}
+	}
+}
+
+func TestPow2BucketEdges(t *testing.T) {
+	// Negative sizes collapse to the zero bucket alongside 0.
+	for _, n := range []int{-1, -1 << 40, math.MinInt} {
+		if got := pow2Bucket(n); got != 0 {
+			t.Errorf("pow2Bucket(%d) = %d, want 0", n, got)
+		}
+	}
+	// Exact powers of two are their own bucket.
+	for s := 0; s < 62; s += 7 {
+		if got := pow2Bucket(1 << s); got != 1<<s {
+			t.Errorf("pow2Bucket(1<<%d) = %d, want %d", s, got, 1<<s)
+		}
+	}
+	if bits.UintSize != 64 {
+		t.Skip("saturation cases assume 64-bit int")
+	}
+	// The largest representable power of two is still exact...
+	if got := pow2Bucket(1 << 62); got != 1<<62 {
+		t.Errorf("pow2Bucket(1<<62) = %d, want 1<<62", got)
+	}
+	// ...and anything past it saturates to MaxInt instead of overflowing.
+	// (The previous shift-loop implementation hung here: 1<<62 << 1 wraps
+	// negative and the loop never terminates.)
+	for _, n := range []int{1<<62 + 1, math.MaxInt - 1, math.MaxInt} {
+		if got := pow2Bucket(n); got != math.MaxInt {
+			t.Errorf("pow2Bucket(%d) = %d, want MaxInt", n, got)
+		}
+	}
+}
+
+// TestHashPressureSpillsToCatchAll drives a tiny hash through both
+// overflow stages — power-of-two coarsening, then the per-call
+// catch-all — and checks the bookkeeping IPM's fixed-footprint argument
+// rests on: Spilled counts every folded event, no byte is lost, and the
+// table never grows past cap plus one catch-all per (call, region).
+func TestHashPressureSpillsToCatchAll(t *testing.T) {
+	const hashCap = 2
+	sizes := make([]int, 20)
+	var wantBytes int64
+	for i := range sizes {
+		sizes[i] = 1 << i // exact powers: coarsening cannot merge them
+		wantBytes += int64(sizes[i])
+	}
+	p := profileRun(t, 2, hashCap, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for _, s := range sizes {
+				c.Send(1, 1, mpi.Size(s))
+			}
+		} else {
+			for range sizes {
+				c.Recv(0, 1)
+			}
+		}
+	})
+	rank0 := p.Ranks[0]
+	// The first cap sizes occupy the table; every later send has a fresh
+	// power-of-two signature, so coarsening misses and it spills.
+	if want := int64(len(sizes) - hashCap); rank0.Spilled != want {
+		t.Errorf("rank 0 spilled %d events, want %d", rank0.Spilled, want)
+	}
+	if len(rank0.Entries) > hashCap+1 {
+		t.Errorf("hash grew to %d entries, want <= hashCap+1 = %d", len(rank0.Entries), hashCap+1)
+	}
+	var gotBytes int64
+	var catchAll *Entry
+	for i, e := range rank0.Entries {
+		if e.Key.Call != mpi.CallSend {
+			continue
+		}
+		gotBytes += e.Stat.TotalBytes
+		if e.Key.Bytes == -1 {
+			catchAll = &rank0.Entries[i]
+		}
+	}
+	if gotBytes != wantBytes {
+		t.Errorf("TotalBytes not conserved under pressure: got %d want %d", gotBytes, wantBytes)
+	}
+	if catchAll == nil {
+		t.Fatal("no catch-all entry despite spills")
+	}
+	if catchAll.Key.Peer != mpi.NoPeer {
+		t.Errorf("catch-all keeps a peer: %+v", catchAll.Key)
+	}
+	if catchAll.Stat.Count != int64(len(sizes)-hashCap) {
+		t.Errorf("catch-all count %d, want %d", catchAll.Stat.Count, len(sizes)-hashCap)
+	}
+	if catchAll.Stat.MaxBytes != sizes[len(sizes)-1] {
+		t.Errorf("catch-all MaxBytes %d, want %d", catchAll.Stat.MaxBytes, sizes[len(sizes)-1])
+	}
+}
+
+// TestHashPressureCoarsenMergesBuckets checks the intermediate stage:
+// once the table is full, sizes whose power-of-two bucket already exists
+// as an entry merge there (tracking MaxBytes) instead of spilling to the
+// catch-all.
+func TestHashPressureCoarsenMergesBuckets(t *testing.T) {
+	c := NewCollector(0, 1)
+	// Pre-cap insert at a bucket-aligned size seeds the 128-byte entry.
+	c.Event(mpi.Event{Call: mpi.CallSend, Bytes: 128, Peer: 1})
+	for _, b := range []int{100, 90, 65} { // all bucket to 128
+		c.Event(mpi.Event{Call: mpi.CallSend, Bytes: b, Peer: 1})
+	}
+	if c.spilled != 0 {
+		t.Errorf("coarsening alone spilled %d events", c.spilled)
+	}
+	st, ok := c.entries[Key{Call: mpi.CallSend, Bytes: 128, Peer: 1}]
+	if !ok {
+		t.Fatalf("no coarsened 128-byte bucket: %v", c.entries)
+	}
+	if st.Count != 4 || st.TotalBytes != 128+100+90+65 || st.MaxBytes != 128 {
+		t.Errorf("bad coarsened stat %+v", st)
+	}
+	if len(c.entries) != 1 {
+		t.Errorf("table grew past capacity: %v", c.entries)
 	}
 }
 

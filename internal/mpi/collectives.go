@@ -67,9 +67,9 @@ func (c *Comm) Barrier() {
 	for k := 1; k < n; k <<= 1 {
 		dst := (r + k) % n
 		src := (r - k%n + n) % n
-		req := c.recvRaw(src, tagBarrier+Tag(k), ctx)
+		req := c.recvScratch(src, tagBarrier+Tag(k), ctx)
 		c.sendRaw(dst, tagBarrier+Tag(k), ctx, Buf{})
-		req.wait()
+		waitFree(req)
 	}
 	c.collAdvance(CallBarrier, 0)
 	c.trace(CallBarrier, NoPeer, 0)
@@ -84,7 +84,7 @@ func (c *Comm) bcast(ctx int64, root int, b *Buf) {
 	for mask < n {
 		if rel&mask != 0 {
 			src := (rel - mask + root) % n
-			st := c.recvRaw(src, tagBcast+Tag(mask), ctx).wait()
+			st := c.recvWait(src, tagBcast+Tag(mask), ctx)
 			*b = Buf{N: st.N, Data: st.Data}
 			break
 		}
@@ -120,7 +120,7 @@ func (c *Comm) reduce(ctx int64, root int, vals []float64, op Op) []float64 {
 		if rel&mask == 0 {
 			src := rel | mask
 			if src < n {
-				st := c.recvRaw((src+root)%n, tagReduce+Tag(mask), ctx).wait()
+				st := c.recvWait((src+root)%n, tagReduce+Tag(mask), ctx)
 				op.apply(acc, decodeFloats(st.Data))
 			}
 		} else {
@@ -173,7 +173,7 @@ func (c *Comm) Gather(root int, b Buf) []Buf {
 			if r == root {
 				continue
 			}
-			st := c.recvRaw(r, tagGather+Tag(r), ctx).wait()
+			st := c.recvWait(r, tagGather+Tag(r), ctx)
 			res[r] = Buf{N: st.N, Data: st.Data}
 		}
 	} else {
@@ -194,9 +194,9 @@ func (c *Comm) allgatherBufs(ctx int64, b Buf) []Buf {
 		dst := (r + 1) % n
 		src := (r - 1 + n) % n
 		fwd := (r - i + 1 + n) % n
-		req := c.recvRaw(src, tagRing+Tag(i), ctx)
+		req := c.recvScratch(src, tagRing+Tag(i), ctx)
 		c.sendRaw(dst, tagRing+Tag(i), ctx, res[fwd])
-		st := req.wait()
+		st := waitFree(req)
 		res[(r-i+n)%n] = Buf{N: st.N, Data: st.Data}
 	}
 	return res
@@ -244,7 +244,7 @@ func (c *Comm) Scatter(root int, bufs []Buf) Buf {
 			c.sendRaw(r, tagScatter+Tag(r), ctx, bufs[r])
 		}
 	} else {
-		st := c.recvRaw(root, tagScatter+Tag(c.rank), ctx).wait()
+		st := c.recvWait(root, tagScatter+Tag(c.rank), ctx)
 		mine = Buf{N: st.N, Data: st.Data}
 	}
 	c.collAdvance(CallScatter, mine.N)
@@ -265,9 +265,9 @@ func (c *Comm) alltoall(ctx int64, bufs []Buf) []Buf {
 	for i := 1; i < n; i++ {
 		dst := (r + i) % n
 		src := (r - i + n) % n
-		req := c.recvRaw(src, tagPair+Tag(i), ctx)
+		req := c.recvScratch(src, tagPair+Tag(i), ctx)
 		c.sendRaw(dst, tagPair+Tag(i), ctx, bufs[dst])
-		st := req.wait()
+		st := waitFree(req)
 		res[src] = Buf{N: st.N, Data: st.Data}
 	}
 	return res
@@ -308,7 +308,7 @@ func (c *Comm) Scan(vals []float64, op Op) []float64 {
 	ctx := c.collCtx()
 	acc := append([]float64(nil), vals...)
 	if c.rank > 0 {
-		st := c.recvRaw(c.rank-1, tagScan, ctx).wait()
+		st := c.recvWait(c.rank-1, tagScan, ctx)
 		prefix := decodeFloats(st.Data)
 		op.apply(acc, prefix)
 	}
@@ -353,7 +353,7 @@ func (c *Comm) ReduceScatter(vals []float64, counts []int, op Op) []float64 {
 			c.sendRaw(r, tagScatter, ctx, bufs[r])
 		}
 	} else {
-		st := c.recvRaw(0, tagScatter, ctx).wait()
+		st := c.recvWait(0, tagScatter, ctx)
 		mine = Buf{N: st.N, Data: st.Data}
 	}
 	c.collAdvance(CallReduceScatter, 8*len(vals))

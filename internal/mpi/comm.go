@@ -14,8 +14,9 @@ import (
 type Comm struct {
 	world  *World
 	id     int
-	group  []int // group[commRank] = worldRank
-	rank   int   // this rank's position in group
+	group  []int       // group[commRank] = worldRank
+	w2c    map[int]int // world rank -> comm rank; nil means identity (world comm)
+	rank   int         // this rank's position in group
 	tracer Tracer
 
 	collSeq  int // per-rank collective sequence number
@@ -100,19 +101,22 @@ func (c *Comm) sendRawProto(dst int, tag Tag, ctx int64, b Buf, allowRendezvous 
 	if b.Data != nil && len(b.Data) != b.N {
 		panic(fmt.Sprintf("mpi: buffer claims %d bytes but carries %d", b.N, len(b.Data)))
 	}
-	env := &envelope{
-		src:    c.group[c.rank],
-		tag:    tag,
-		ctx:    ctx,
-		size:   b.N,
-		data:   b.Data,
-		sentAt: c.VirtualTime(),
-	}
+	env := envPool.Get().(*envelope)
+	env.src = c.group[c.rank]
+	env.tag = tag
+	env.ctx = ctx
+	env.size = b.N
+	env.data = b.Data
+	env.sentAt = c.VirtualTime()
+	// Capture the ack before deliver: a matched envelope may be recycled
+	// by the receiving rank before deliver returns.
+	var ack chan struct{}
 	if allowRendezvous && c.world.eagerLimit > 0 && b.N > c.world.eagerLimit {
-		env.ack = make(chan struct{})
+		ack = make(chan struct{})
 	}
+	env.ack = ack
 	c.world.deliver(c.group[dst], env)
-	return env.ack
+	return ack
 }
 
 // waitAck blocks on a rendezvous acknowledgement, unwinding the rank if
@@ -129,25 +133,48 @@ func (c *Comm) waitAck(ack chan struct{}) {
 	}
 }
 
-// recvRaw posts a receive without tracing and returns its request.
-func (c *Comm) recvRaw(src int, tag Tag, ctx int64) *Request {
-	worldSrc := AnySource
-	if src != AnySource {
-		c.checkRank(src)
-		worldSrc = c.group[src]
+// worldSrcOf translates a receive's comm source (possibly AnySource) to
+// world rank space.
+func (c *Comm) worldSrcOf(src int) int {
+	if src == AnySource {
+		return AnySource
 	}
+	c.checkRank(src)
+	return c.group[src]
+}
+
+// recvRaw posts a receive without tracing and returns its request, used
+// for requests that escape to the caller (Irecv).
+func (c *Comm) recvRaw(src int, tag Tag, ctx int64) *Request {
+	worldSrc := c.worldSrcOf(src)
 	req := newRequest(c, true, worldSrc, 0)
-	c.world.post(c.group[c.rank], &postedRecv{src: worldSrc, tag: tag, ctx: ctx, req: req})
+	c.world.post(c.group[c.rank], worldSrc, tag, ctx, req)
 	return req
+}
+
+// recvScratch posts a receive on a pooled request. The caller must
+// finish it with waitFree (or recvWait) and must not retain it.
+func (c *Comm) recvScratch(src int, tag Tag, ctx int64) *Request {
+	worldSrc := c.worldSrcOf(src)
+	req := getRequest(c, true, worldSrc, 0)
+	c.world.post(c.group[c.rank], worldSrc, tag, ctx, req)
+	return req
+}
+
+// recvWait posts an internal receive and blocks for its status.
+func (c *Comm) recvWait(src int, tag Tag, ctx int64) Status {
+	return waitFree(c.recvScratch(src, tag, ctx))
 }
 
 // statusToComm rewrites a status' world source rank into comm rank space.
 func (c *Comm) statusToComm(st Status) Status {
-	for i, wr := range c.group {
-		if wr == st.Source {
-			st.Source = i
-			return st
-		}
+	if c.w2c == nil {
+		// World communicator: comm rank == world rank.
+		return st
+	}
+	if r, ok := c.w2c[st.Source]; ok {
+		st.Source = r
+		return st
 	}
 	panic(fmt.Sprintf("mpi: message from world rank %d which is not in comm %d", st.Source, c.id))
 }
@@ -173,8 +200,7 @@ func (c *Comm) Recv(src int, tag Tag) Status {
 		c.trace(CallRecv, NoPeer, 0)
 		return nullStatus()
 	}
-	req := c.recvRaw(src, tag, ptpCtx(c.id))
-	st := req.wait()
+	st := c.recvWait(src, tag, ptpCtx(c.id))
 	c.observeArrival(st.VTime)
 	c.advance(0)
 	c.trace(CallRecv, c.peerWorldOrAny(src), 0)
@@ -233,8 +259,7 @@ func (c *Comm) Sendrecv(dst int, stag Tag, sb Buf, src int, rtag Tag) Status {
 		if isNull(src) {
 			return nullStatus()
 		}
-		req := c.recvRaw(src, rtag, ptpCtx(c.id))
-		return c.statusToComm(req.wait())
+		return c.statusToComm(c.recvWait(src, rtag, ptpCtx(c.id)))
 	}
 	if isNull(src) {
 		if ack := c.sendRawProto(dst, stag, ptpCtx(c.id), sb, true); ack != nil {
@@ -244,11 +269,11 @@ func (c *Comm) Sendrecv(dst int, stag Tag, sb Buf, src int, rtag Tag) Status {
 		c.trace(CallSendrecv, c.peerWorld(dst), sb.N)
 		return nullStatus()
 	}
-	req := c.recvRaw(src, rtag, ptpCtx(c.id))
+	req := c.recvScratch(src, rtag, ptpCtx(c.id))
 	if ack := c.sendRawProto(dst, stag, ptpCtx(c.id), sb, true); ack != nil {
 		c.waitAck(ack) // safe: our receive is already posted
 	}
-	st := req.wait()
+	st := waitFree(req)
 	c.observeArrival(st.VTime)
 	c.advance(c.transferOf(sb.N))
 	c.trace(CallSendrecv, c.peerWorld(dst), sb.N)
@@ -331,7 +356,9 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status) {
 }
 
 // Test reports whether req has completed; if it has, the returned status is
-// valid.
+// valid. A completed receive merges the message's arrival time into the
+// rank's virtual clock, exactly as the Wait family does — a rank that
+// polls with Test must not observe a stale clock.
 func (c *Comm) Test(req *Request) (bool, Status) {
 	c.trace(CallTest, NoPeer, 0)
 	if !req.Done() {
@@ -339,6 +366,7 @@ func (c *Comm) Test(req *Request) (bool, Status) {
 	}
 	st := req.wait()
 	if req.isRecv {
+		c.observeArrival(st.VTime)
 		st = c.statusToComm(st)
 	}
 	return true, st
@@ -398,9 +426,11 @@ func (c *Comm) Split(color, key int) *Comm {
 		return members[i].rank < members[j].rank
 	})
 	group := make([]int, len(members))
+	w2c := make(map[int]int, len(members))
 	myRank := -1
 	for i, m := range members {
 		group[i] = c.group[m.rank]
+		w2c[group[i]] = i
 		if m.rank == c.rank {
 			myRank = i
 		}
@@ -410,6 +440,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		world:  c.world,
 		id:     id,
 		group:  group,
+		w2c:    w2c,
 		rank:   myRank,
 		tracer: c.tracer,
 		region: c.region,

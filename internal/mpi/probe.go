@@ -13,13 +13,7 @@ func (p *probeWaiter) matches(e *envelope) bool {
 	if p.ctx != e.ctx {
 		return false
 	}
-	if p.src != AnySource && p.src != e.src {
-		return false
-	}
-	if p.tag != AnyTag && p.tag != e.tag {
-		return false
-	}
-	return true
+	return matchSrcTag(p.src, p.tag, e)
 }
 
 // notifyProbers wakes at most one prober per queued envelope; callers
@@ -34,6 +28,21 @@ func (mb *mailbox) notifyProbers(e *envelope) {
 	}
 }
 
+// findQueued scans one context's unexpected queue for a (src, tag) match
+// without consuming it; callers hold the mailbox lock.
+func (mb *mailbox) findQueued(ctx int64, src int, tag Tag) (*envelope, bool) {
+	q, ok := mb.ctxs[ctx]
+	if !ok {
+		return nil, false
+	}
+	for _, e := range q.unexpected {
+		if matchSrcTag(src, tag, e) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
 // Iprobe reports whether a message matching (src, tag) is queued without
 // consuming it; when true, the returned status describes the message.
 func (c *Comm) Iprobe(src int, tag Tag) (bool, Status) {
@@ -41,19 +50,12 @@ func (c *Comm) Iprobe(src int, tag Tag) (bool, Status) {
 	if isNull(src) {
 		return true, nullStatus()
 	}
-	worldSrc := AnySource
-	if src != AnySource {
-		c.checkRank(src)
-		worldSrc = c.group[src]
-	}
+	worldSrc := c.worldSrcOf(src)
 	mb := c.world.boxes[c.group[c.rank]]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	probe := &probeWaiter{src: worldSrc, tag: tag, ctx: ptpCtx(c.id)}
-	for _, e := range mb.unexpected {
-		if probe.matches(e) {
-			return true, c.statusToComm(Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data})
-		}
+	if e, ok := mb.findQueued(ptpCtx(c.id), worldSrc, tag); ok {
+		return true, c.statusToComm(Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data})
 	}
 	return false, Status{}
 }
@@ -66,20 +68,15 @@ func (c *Comm) Probe(src int, tag Tag) Status {
 	if isNull(src) {
 		return nullStatus()
 	}
-	worldSrc := AnySource
-	if src != AnySource {
-		c.checkRank(src)
-		worldSrc = c.group[src]
-	}
+	worldSrc := c.worldSrcOf(src)
 	mb := c.world.boxes[c.group[c.rank]]
 	mb.mu.Lock()
-	waiter := &probeWaiter{src: worldSrc, tag: tag, ctx: ptpCtx(c.id), ch: make(chan Status, 1)}
-	for _, e := range mb.unexpected {
-		if waiter.matches(e) {
-			mb.mu.Unlock()
-			return c.statusToComm(Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data})
-		}
+	if e, ok := mb.findQueued(ptpCtx(c.id), worldSrc, tag); ok {
+		st := Status{Source: e.src, Tag: e.tag, N: e.size, Data: e.data}
+		mb.mu.Unlock()
+		return c.statusToComm(st)
 	}
+	waiter := &probeWaiter{src: worldSrc, tag: tag, ctx: ptpCtx(c.id), ch: make(chan Status, 1)}
 	mb.probers = append(mb.probers, waiter)
 	mb.mu.Unlock()
 	select {

@@ -15,7 +15,14 @@ import (
 // namespaces never collide).
 func ptpCtx(commID int) int64 { return int64(commID) << 32 }
 
-// envelope is one in-flight message.
+// isPtpCtx reports whether a context is a communicator's long-lived
+// point-to-point context (zero sequence bits) rather than a one-shot
+// collective context.
+func isPtpCtx(ctx int64) bool { return ctx&0xffffffff == 0 }
+
+// envelope is one in-flight message. Envelopes are pooled: the runtime
+// owns them from send to match and recycles them once the receive status
+// has been built.
 type envelope struct {
 	src    int // world rank of the sender
 	tag    Tag
@@ -26,34 +33,86 @@ type envelope struct {
 	ack    chan struct{} // rendezvous: closed when the receive matches; nil for eager
 }
 
-// postedRecv is a receive waiting for a matching envelope.
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+func putEnvelope(e *envelope) {
+	*e = envelope{}
+	envPool.Put(e)
+}
+
+// postedRecv is a receive waiting for a matching envelope. Like
+// envelopes, postedRecvs never escape the runtime and are pooled.
 type postedRecv struct {
 	src int // world rank or AnySource
 	tag Tag // or AnyTag
-	ctx int64
 	req *Request
 }
 
-func (p *postedRecv) matches(e *envelope) bool {
-	if p.ctx != e.ctx {
+var postedPool = sync.Pool{New: func() any { return new(postedRecv) }}
+
+func putPostedRecv(p *postedRecv) {
+	p.req = nil
+	postedPool.Put(p)
+}
+
+// matchSrcTag applies the point-to-point matching rule within one
+// context: source and tag must agree, with AnySource/AnyTag wildcards.
+func matchSrcTag(src int, tag Tag, e *envelope) bool {
+	if src != AnySource && src != e.src {
 		return false
 	}
-	if p.src != AnySource && p.src != e.src {
-		return false
-	}
-	if p.tag != AnyTag && p.tag != e.tag {
+	if tag != AnyTag && tag != e.tag {
 		return false
 	}
 	return true
 }
 
-// mailbox holds a rank's unmatched envelopes, pending receives, and
-// blocked probes.
-type mailbox struct {
-	mu         sync.Mutex
+// ctxQueue holds the unmatched envelopes and pending receives of one
+// matching context. Splitting the mailbox by context turns the old
+// O(posted x unexpected) scan over all traffic into a scan over only the
+// messages that could legally match — for collective-heavy workloads the
+// queues are a handful of entries deep.
+type ctxQueue struct {
 	unexpected []*envelope
 	posted     []*postedRecv
-	probers    []*probeWaiter
+}
+
+// mailbox holds a rank's matching state, indexed by context, plus any
+// blocked probes (probes are rare enough that a flat list suffices).
+type mailbox struct {
+	mu      sync.Mutex
+	ctxs    map[int64]*ctxQueue
+	probers []*probeWaiter
+	free    *ctxQueue // one retired queue kept warm for the next collective
+}
+
+// queue returns the context's queue, creating it if needed. Callers hold
+// mb.mu.
+func (mb *mailbox) queue(ctx int64) *ctxQueue {
+	if q, ok := mb.ctxs[ctx]; ok {
+		return q
+	}
+	q := mb.free
+	if q != nil {
+		mb.free = nil
+	} else {
+		q = new(ctxQueue)
+	}
+	mb.ctxs[ctx] = q
+	return q
+}
+
+// retire drops a drained collective context so the index does not grow
+// with every collective ever executed; the communicator's long-lived
+// point-to-point context stays resident. Callers hold mb.mu.
+func (mb *mailbox) retire(ctx int64, q *ctxQueue) {
+	if isPtpCtx(ctx) || len(q.unexpected) != 0 || len(q.posted) != 0 {
+		return
+	}
+	delete(mb.ctxs, ctx)
+	if mb.free == nil {
+		mb.free = q
+	}
 }
 
 // World is a fixed-size set of ranks that can communicate. Create one with
@@ -102,7 +161,7 @@ func NewWorld(size int, opts ...Option) *World {
 		nextComm: 1, // id 0 is the world communicator
 	}
 	for i := range w.boxes {
-		w.boxes[i] = new(mailbox)
+		w.boxes[i] = &mailbox{ctxs: make(map[int64]*ctxQueue)}
 	}
 	for _, opt := range opts {
 		opt(w)
@@ -221,43 +280,57 @@ func (w *World) RunContext(ctx context.Context, fn func(*Comm)) error {
 }
 
 // deliver routes an envelope to the destination world rank, completing a
-// posted receive when one matches, otherwise queueing it.
+// posted receive when one matches, otherwise queueing it. Matched
+// envelopes and receive slots return to their pools here.
 func (w *World) deliver(dst int, env *envelope) {
 	mb := w.boxes[dst]
 	mb.mu.Lock()
-	for i, p := range mb.posted {
-		if p.matches(env) {
-			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+	q := mb.queue(env.ctx)
+	for i, p := range q.posted {
+		if matchSrcTag(p.src, p.tag, env) {
+			q.posted = append(q.posted[:i], q.posted[i+1:]...)
+			mb.retire(env.ctx, q)
 			mb.mu.Unlock()
 			if env.ack != nil {
 				close(env.ack)
 			}
-			p.req.complete(w.statusOf(env))
+			req := p.req
+			st := w.statusOf(env)
+			putPostedRecv(p)
+			putEnvelope(env)
+			req.complete(st)
 			return
 		}
 	}
-	mb.unexpected = append(mb.unexpected, env)
+	q.unexpected = append(q.unexpected, env)
 	mb.notifyProbers(env)
 	mb.mu.Unlock()
 }
 
 // post registers a receive for world rank dst, first scanning the
-// unexpected queue in arrival order to preserve non-overtaking matching.
-func (w *World) post(dst int, p *postedRecv) {
+// context's unexpected queue in arrival order to preserve non-overtaking
+// matching. An immediate match completes req without queueing anything.
+func (w *World) post(dst, src int, tag Tag, ctx int64, req *Request) {
 	mb := w.boxes[dst]
 	mb.mu.Lock()
-	for i, env := range mb.unexpected {
-		if p.matches(env) {
-			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+	q := mb.queue(ctx)
+	for i, env := range q.unexpected {
+		if matchSrcTag(src, tag, env) {
+			q.unexpected = append(q.unexpected[:i], q.unexpected[i+1:]...)
+			mb.retire(ctx, q)
 			mb.mu.Unlock()
 			if env.ack != nil {
 				close(env.ack)
 			}
-			p.req.complete(w.statusOf(env))
+			st := w.statusOf(env)
+			putEnvelope(env)
+			req.complete(st)
 			return
 		}
 	}
-	mb.posted = append(mb.posted, p)
+	p := postedPool.Get().(*postedRecv)
+	p.src, p.tag, p.req = src, tag, req
+	q.posted = append(q.posted, p)
 	mb.mu.Unlock()
 }
 
@@ -292,7 +365,7 @@ func (w *World) commID(parent, seq, color int) int {
 type Request struct {
 	mu     sync.Mutex
 	done   bool
-	doneCh chan struct{}
+	doneCh chan struct{} // created lazily by the first waiter that blocks
 	notify []chan *Request
 	status Status
 	isRecv bool
@@ -303,7 +376,6 @@ type Request struct {
 
 func newRequest(c *Comm, isRecv bool, peer, nbytes int) *Request {
 	return &Request{
-		doneCh: make(chan struct{}),
 		isRecv: isRecv,
 		comm:   c,
 		peer:   peer,
@@ -311,7 +383,34 @@ func newRequest(c *Comm, isRecv bool, peer, nbytes int) *Request {
 	}
 }
 
-// complete marks the request finished and wakes every waiter.
+// reqPool recycles runtime-internal requests — the ones backing Recv,
+// Sendrecv, and collective traffic, which never escape to the caller.
+// User-facing requests from Isend/Irecv stay heap-allocated because the
+// caller may hold the handle arbitrarily long after completion.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+func getRequest(c *Comm, isRecv bool, peer, nbytes int) *Request {
+	r := reqPool.Get().(*Request)
+	r.done = false
+	r.doneCh = nil
+	r.notify = nil
+	r.status = Status{}
+	r.isRecv = isRecv
+	r.comm = c
+	r.peer = peer
+	r.nbytes = nbytes
+	return r
+}
+
+func putRequest(r *Request) {
+	r.comm = nil
+	r.status = Status{}
+	reqPool.Put(r)
+}
+
+// complete marks the request finished and wakes every waiter. Requests
+// completed before anyone blocks never allocate a channel — the eager
+// fast path for Isend and already-arrived receives.
 func (r *Request) complete(st Status) {
 	r.mu.Lock()
 	if r.done {
@@ -320,9 +419,11 @@ func (r *Request) complete(st Status) {
 	}
 	r.done = true
 	r.status = st
+	if r.doneCh != nil {
+		close(r.doneCh)
+	}
 	ns := r.notify
 	r.notify = nil
-	close(r.doneCh)
 	r.mu.Unlock()
 	for _, ch := range ns {
 		ch <- r // channels are buffered by the registrar
@@ -362,18 +463,39 @@ func (r *Request) Done() bool {
 
 // wait blocks until completion and returns the status. If the world is
 // aborted while blocked, the calling rank unwinds via abortSignal.
+// Already-completed requests return without touching a channel.
 func (r *Request) wait() Status {
+	r.mu.Lock()
+	if r.done {
+		st := r.status
+		r.mu.Unlock()
+		return st
+	}
+	if r.doneCh == nil {
+		r.doneCh = make(chan struct{})
+	}
+	ch := r.doneCh
+	abort := r.comm.world.abort
+	r.mu.Unlock()
 	select {
-	case <-r.doneCh:
-	case <-r.comm.world.abort:
+	case <-ch:
+	case <-abort:
 		// Prefer a completion that raced with the abort.
 		select {
-		case <-r.doneCh:
+		case <-ch:
 		default:
 			panic(abortSignal{})
 		}
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.status
+	st := r.status
+	r.mu.Unlock()
+	return st
+}
+
+// waitFree waits on a pooled internal request and recycles it.
+func waitFree(r *Request) Status {
+	st := r.wait()
+	putRequest(r)
+	return st
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench.sh — run the fast-path benchmark suite and emit a JSON summary.
+#
+# Usage:
+#   scripts/bench.sh [-o out.json] [--smoke]
+#
+#   -o FILE   write the JSON summary to FILE (default: BENCH.json)
+#   --smoke   run every benchmark exactly once (-benchtime=1x); useful as
+#             a CI canary that the suite still compiles and runs
+#
+# The suite covers the layers the profiling fast path touches:
+#   internal/mpi         message matching and request lifecycle
+#   internal/ipm         collector event ingestion
+#   internal/apps        end-to-end skeleton profiling (allocs/op headline)
+#   internal/experiments warm-up fan-out (serial vs parallel)
+#
+# The JSON is a flat list of {package, name, iters, ns_per_op, b_per_op,
+# allocs_per_op} records plus a small env header, so successive runs can
+# be diffed with jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH.json"
+benchtime=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -o) out="$2"; shift 2 ;;
+    --smoke) benchtime="-benchtime=1x"; shift ;;
+    *) echo "usage: $0 [-o out.json] [--smoke]" >&2; exit 2 ;;
+  esac
+done
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+run() { # run <package> <bench regexp>
+  echo ">> go test -bench '$2' $1" >&2
+  go test -run '^$' -bench "$2" -benchmem $benchtime "$1" \
+    | awk -v pkg="$1" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
+}
+
+run ./internal/mpi 'BenchmarkPingPong|BenchmarkIsendWait|BenchmarkHaloExchange|BenchmarkAllreduce8'
+run ./internal/ipm 'BenchmarkCollectorEvent'
+run ./internal/apps 'BenchmarkProfileRun'
+run ./internal/experiments 'BenchmarkWarmAll'
+
+awk -v go_ver="$(go env GOVERSION)" -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" '
+BEGIN {
+  printf "{\n  \"go\": \"%s\",\n  \"cpus\": %d,\n  \"benchmarks\": [\n", go_ver, ncpu
+  first = 1
+}
+{
+  # <pkg> <BenchmarkName-P> <iters> <ns> ns/op [<B> B/op <allocs> allocs/op]
+  name = $2; sub(/-[0-9]+$/, "", name)
+  ns = ""; bpo = ""; apo = ""
+  for (i = 3; i <= NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bpo = $i
+    if ($(i+1) == "allocs/op") apo = $i
+  }
+  if (!first) printf ",\n"
+  first = 0
+  printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, name, $3, ns
+  if (bpo != "") printf ", \"b_per_op\": %s, \"allocs_per_op\": %s", bpo, apo
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" >"$out"
+
+echo "wrote $out" >&2
