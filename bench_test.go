@@ -289,7 +289,10 @@ func BenchmarkReconfiguration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	g := topology.FromProfile(prof, ipm.SteadyState)
+	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	var moves int
 	for i := 0; i < b.N; i++ {
@@ -397,7 +400,10 @@ func BenchmarkBlockSizeAblation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		g := topology.FromProfile(prof, ipm.SteadyState)
+		g, err := topology.FromProfile(prof, ipm.SteadyState)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, bs := range []int{8, 16, 32} {
 			a, err := hfast.Assign(g, 0, bs)
 			if err != nil {

@@ -9,7 +9,7 @@
 //
 // Targets: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 figures cases cost scaling ablation icn netsim trace sched faults
-// placement all
+// placement ultra all
 package main
 
 import (
@@ -70,6 +70,8 @@ func main() {
 			return experiments.Placement(w, r, 64, 40000)
 		case "trace":
 			return experiments.TraceStudy(w, r, *procs)
+		case "ultra":
+			return experiments.Ultra(w, r)
 		default:
 			if app, ok := appFigs[name]; ok {
 				return experiments.FigApp(w, r, app)

@@ -45,7 +45,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	g := topology.FromProfile(prof, ipm.SteadyState)
+	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	if err != nil {
+		fail(err)
+	}
 	a, err := hfast.Assign(g, *cutoff, *blockSize)
 	if err != nil {
 		fail(err)

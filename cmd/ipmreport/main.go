@@ -72,7 +72,11 @@ func main() {
 	report.CDFPlot(w, "Collective buffer sizes", analysis.CDF(prof.CollectiveSizes(filter)), bdp.TargetThreshold)
 	fmt.Fprintln(w)
 
-	g := topology.FromProfile(prof, filter)
+	g, err := topology.FromProfile(prof, filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipmreport: topology: %v\n", err)
+		os.Exit(1)
+	}
 	report.Heatmap(w, "Communication volume", g, 32)
 	fmt.Fprintln(w)
 
@@ -80,7 +84,11 @@ func main() {
 	report.TDCSweep(w, "Concurrency with cutoff", series)
 	fmt.Fprintln(w)
 
-	sum := analysis.Summarize(prof, filter, *cutoff)
+	sum, err := analysis.Summarize(prof, filter, *cutoff)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipmreport: summary: %v\n", err)
+		os.Exit(1)
+	}
 	report.SummaryTable(w, []analysis.Summary{sum})
 	fmt.Fprintln(w)
 

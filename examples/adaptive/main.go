@@ -55,7 +55,10 @@ func main() {
 	prof := set.Profile("phased", procs, nil)
 
 	// What does the time-windowed TDC say about reconfiguration?
-	op := trace.Analyze(prof, 0)
+	op, err := trace.Analyze(prof, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("time-windowed TDC: %d windows, max window TDC %d, union TDC %d\n",
 		op.Windows, op.MaxWindowTDC, op.UnionTDC)
 	fmt.Printf("→ a static provisioning needs degree-%d trees; a reconfigurable\n", op.UnionTDC)
@@ -69,7 +72,11 @@ func main() {
 	fmt.Printf("initial provisioning: densely packed 3D mesh, %d blocks\n\n",
 		fabric.Current().TotalBlocks)
 
-	for _, win := range trace.Windows(prof, "step", 0) {
+	wins, err := trace.Windows(prof, "step", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, win := range wins {
 		rep, err := fabric.Reconfigure(win.Graph, 0)
 		if err != nil {
 			log.Fatal(err)

@@ -30,7 +30,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows = append(rows, analysis.Summarize(p, ipm.SteadyState, 0))
+		sum, err := analysis.Summarize(p, ipm.SteadyState, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, sum)
 	}
 	report.SummaryTable(os.Stdout, rows)
 	fmt.Println()

@@ -66,7 +66,10 @@ func main() {
 		log.Fatal(err)
 	}
 	prof := set.Profile("stencil", procs, nil)
-	g := topology.FromProfile(prof, ipm.AllRegions)
+	g, err := topology.FromProfile(prof, ipm.AllRegions)
+	if err != nil {
+		log.Fatal(err)
+	}
 	measured, err := hfast.Assign(g, 0, params.BlockSize)
 	if err != nil {
 		log.Fatal(err)

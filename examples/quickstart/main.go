@@ -19,7 +19,10 @@ func main() {
 	}
 
 	// 2. Reduce the profile to the paper's Table 3 metrics.
-	sum := hfast.Summarize(prof)
+	sum, err := hfast.Summarize(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s at P=%d:\n", sum.App, sum.Procs)
 	fmt.Printf("  point-to-point calls: %.1f%% (median buffer %d B)\n", sum.PTPCallPct, sum.MedianPTPBuf)
 	fmt.Printf("  collective calls:     %.1f%% (median buffer %d B)\n", sum.CollCallPct, sum.MedianCollBuf)
@@ -28,7 +31,10 @@ func main() {
 	fmt.Printf("  FCN utilization:      %.0f%%\n", 100*sum.FCNUtil)
 
 	// 3. Provision an HFAST fabric sized to the thresholded topology.
-	g := hfast.BuildGraph(prof)
+	g, err := hfast.BuildGraph(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 	params := hfast.DefaultParams()
 	a, err := hfast.Provision(g, 0, params)
 	if err != nil {

@@ -7,8 +7,8 @@
 // The typical flow mirrors the paper:
 //
 //	prof, err := hfast.RunApp("gtc", hfast.Config{Procs: 256})
-//	g := hfast.BuildGraph(prof)                  // communication topology
-//	sum := hfast.Summarize(prof)                 // Table 3 row
+//	g, err := hfast.BuildGraph(prof)             // communication topology
+//	sum, err := hfast.Summarize(prof)            // Table 3 row
 //	a, err := hfast.Provision(g, 0, hfast.DefaultParams()) // HFAST fabric
 //	cmp, err := hfast.CompareCosts(a, hfast.DefaultParams())
 //
@@ -80,16 +80,21 @@ func ProvisionForApp(ctx context.Context, name string, cfg Config, cutoff int, p
 	if err != nil {
 		return nil, err
 	}
-	return core.Assign(topology.FromProfile(prof, ipm.SteadyState), cutoff, p.BlockSize)
+	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	if err != nil {
+		return nil, err
+	}
+	return core.Assign(g, cutoff, p.BlockSize)
 }
 
 // BuildGraph extracts the steady-state communication topology of a
-// profile (initialization regions excluded, as in the paper).
-func BuildGraph(p *Profile) *Graph { return topology.FromProfile(p, ipm.SteadyState) }
+// profile (initialization regions excluded, as in the paper). A malformed
+// profile yields an error instead of a panic.
+func BuildGraph(p *Profile) (*Graph, error) { return topology.FromProfile(p, ipm.SteadyState) }
 
 // Summarize computes the Table 3 metrics of a profile at the paper's 2 KB
 // threshold, excluding initialization.
-func Summarize(p *Profile) Summary {
+func Summarize(p *Profile) (Summary, error) {
 	return analysis.Summarize(p, ipm.SteadyState, topology.DefaultCutoff)
 }
 

@@ -11,14 +11,20 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum := hfast.Summarize(prof)
+	sum, err := hfast.Summarize(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sum.App != "cactus" || sum.Procs != 16 {
 		t.Fatalf("summary metadata %+v", sum)
 	}
 	if sum.TDCMax > 6 {
 		t.Errorf("cactus TDC %d > 6", sum.TDCMax)
 	}
-	g := hfast.BuildGraph(prof)
+	g, err := hfast.BuildGraph(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.P != 16 {
 		t.Fatalf("graph size %d", g.P)
 	}

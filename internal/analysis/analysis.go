@@ -149,8 +149,10 @@ type Summary struct {
 
 // Summarize computes the Table 3 row for a profile, restricted to entries
 // passing the region filter (use ipm.SteadyState to reproduce the paper's
-// exclusion of initialization).
-func Summarize(p *ipm.Profile, filter ipm.RegionFilter, cutoff int) Summary {
+// exclusion of initialization). A malformed profile — non-positive rank
+// count or out-of-range peers — yields an error rather than a panic so
+// service callers can reject it.
+func Summarize(p *ipm.Profile, filter ipm.RegionFilter, cutoff int) (Summary, error) {
 	if cutoff <= 0 {
 		cutoff = topology.DefaultCutoff
 	}
@@ -171,13 +173,16 @@ func Summarize(p *ipm.Profile, filter ipm.RegionFilter, cutoff int) Summary {
 	s.MedianPTPBuf = Median(p.PTPSizes(filter))
 	s.MedianCollBuf = Median(p.CollectiveSizes(filter))
 
-	g := topology.FromProfile(p, filter)
+	g, err := topology.FromProfile(p, filter)
+	if err != nil {
+		return Summary{}, err
+	}
 	at := g.Stats(cutoff)
 	s.TDCMax, s.TDCAvg = at.Max, at.Avg
 	at0 := g.Stats(0)
 	s.MaxTDC0, s.AvgTDC0 = at0.Max, at0.Avg
 	s.FCNUtil = g.FCNUtilization(cutoff)
-	return s
+	return s, nil
 }
 
 // Case is a §2.5 hypothesis class.

@@ -111,7 +111,10 @@ func syntheticProfile(t *testing.T) *ipm.Profile {
 
 func TestSummarizeSteadyStateExcludesInit(t *testing.T) {
 	p := syntheticProfile(t)
-	s := Summarize(p, ipm.SteadyState, 0)
+	s, err := Summarize(p, ipm.SteadyState, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Cutoff != topology.DefaultCutoff {
 		t.Errorf("cutoff defaulting broken: %d", s.Cutoff)
 	}
@@ -134,7 +137,7 @@ func TestSummarizeSteadyStateExcludesInit(t *testing.T) {
 }
 
 func ringG(n int, size int) *topology.Graph {
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	for i := 0; i < n; i++ {
 		g.AddTraffic(i, (i+1)%n, 1, int64(size), size)
 	}
@@ -143,7 +146,7 @@ func ringG(n int, size int) *topology.Graph {
 
 func TestClassifyCases(t *testing.T) {
 	// Case iv: complete graph with big messages.
-	full := topology.NewGraph(16)
+	full := topology.MustGraph(16)
 	for i := 0; i < 16; i++ {
 		for j := i + 1; j < 16; j++ {
 			full.AddTraffic(i, j, 1, 32<<10, 32<<10)

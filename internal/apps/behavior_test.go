@@ -9,6 +9,17 @@ import (
 	"github.com/hfast-sim/hfast/internal/topology"
 )
 
+// steadyGraph builds a topology graph from a profile, failing the test on
+// a malformed profile.
+func steadyGraph(t *testing.T, p *ipm.Profile, filter ipm.RegionFilter) *topology.Graph {
+	t.Helper()
+	g, err := topology.FromProfile(p, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 // quickProfile runs an app at a small size with few steps.
 func quickProfile(t *testing.T, app string, procs int) *ipm.Profile {
 	t.Helper()
@@ -59,12 +70,12 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ga := topology.FromProfile(a, ipm.SteadyState)
-	gb := topology.FromProfile(b, ipm.SteadyState)
+	ga := steadyGraph(t, a, ipm.SteadyState)
+	gb := steadyGraph(t, b, ipm.SteadyState)
 	for i := 0; i < ga.P; i++ {
 		for j := 0; j < ga.P; j++ {
-			if ga.Vol[i][j] != gb.Vol[i][j] {
-				t.Fatalf("nondeterministic traffic at (%d,%d): %d vs %d", i, j, ga.Vol[i][j], gb.Vol[i][j])
+			if ga.Vol(i, j) != gb.Vol(i, j) {
+				t.Fatalf("nondeterministic traffic at (%d,%d): %d vs %d", i, j, ga.Vol(i, j), gb.Vol(i, j))
 			}
 		}
 	}
@@ -72,7 +83,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestCactusPartnersAreGridNeighbors(t *testing.T) {
 	p := quickProfile(t, "cactus", 64) // 4x4x4
-	g := topology.FromProfile(p, ipm.SteadyState)
+	g := steadyGraph(t, p, ipm.SteadyState)
 	deg := g.Degrees(0)
 	for i, d := range deg {
 		if d > 6 {
@@ -99,7 +110,7 @@ func TestCactusScaleControlsMessageSize(t *testing.T) {
 
 func TestLBMHDTwelvePartners(t *testing.T) {
 	p := quickProfile(t, "lbmhd", 64)
-	g := topology.FromProfile(p, ipm.SteadyState)
+	g := steadyGraph(t, p, ipm.SteadyState)
 	st := g.Stats(0)
 	if st.Max != 12 || st.Min != 12 {
 		t.Errorf("lbmhd degrees (min %d, max %d), want 12,12", st.Min, st.Max)
@@ -112,7 +123,7 @@ func TestLBMHDTwelvePartners(t *testing.T) {
 
 func TestGTCMastersCarryHighDegree(t *testing.T) {
 	p := quickProfile(t, "gtc", 256)
-	g := topology.FromProfile(p, ipm.SteadyState)
+	g := steadyGraph(t, p, ipm.SteadyState)
 	deg := g.Degrees(0)
 	// Masters are ranks ≡ 0 mod 4; they must dominate the degree
 	// distribution (diagnostic partners).
@@ -145,8 +156,8 @@ func TestGTCUsesSubcommunicatorGathers(t *testing.T) {
 func TestSuperLUDegreeScalesWithSqrtP(t *testing.T) {
 	p64 := quickProfile(t, "superlu", 64)
 	p256 := quickProfile(t, "superlu", 256)
-	g64 := topology.FromProfile(p64, ipm.SteadyState)
-	g256 := topology.FromProfile(p256, ipm.SteadyState)
+	g64 := steadyGraph(t, p64, ipm.SteadyState)
+	g256 := steadyGraph(t, p256, ipm.SteadyState)
 	d64 := g64.Stats(topology.DefaultCutoff).Max
 	d256 := g256.Stats(topology.DefaultCutoff).Max
 	if d64 != 14 {
@@ -163,10 +174,10 @@ func TestSuperLUDegreeScalesWithSqrtP(t *testing.T) {
 
 func TestSuperLUInitExcluded(t *testing.T) {
 	p := quickProfile(t, "superlu", 16)
-	gAll := topology.FromProfile(p, ipm.AllRegions)
-	gSteady := topology.FromProfile(p, ipm.SteadyState)
+	gAll := steadyGraph(t, p, ipm.AllRegions)
+	gSteady := steadyGraph(t, p, ipm.SteadyState)
 	// Rank 0's matrix distribution is init-only traffic.
-	if gAll.Vol[0][15] <= gSteady.Vol[0][15] {
+	if gAll.Vol(0, 15) <= gSteady.Vol(0, 15) {
 		t.Error("init distribution did not add volume")
 	}
 }
@@ -181,7 +192,7 @@ func TestSuperLUZeroByteSends(t *testing.T) {
 
 func TestPMEMDMasterKeepsFullDegree(t *testing.T) {
 	p := quickProfile(t, "pmemd", 64)
-	g := topology.FromProfile(p, ipm.SteadyState)
+	g := steadyGraph(t, p, ipm.SteadyState)
 	deg := g.Degrees(topology.DefaultCutoff)
 	if deg[0] != 63 {
 		t.Errorf("pmemd master degree %d, want 63", deg[0])
@@ -190,13 +201,13 @@ func TestPMEMDMasterKeepsFullDegree(t *testing.T) {
 
 func TestPMEMDVolumeDecaysWithDistance(t *testing.T) {
 	p := quickProfile(t, "pmemd", 64)
-	g := topology.FromProfile(p, ipm.SteadyState)
+	g := steadyGraph(t, p, ipm.SteadyState)
 	// Rank 21 (not the master) communicates more with a grid neighbor
 	// than with the far corner. 4x4x4 grid: 21=(1,1,1); neighbor 22=(2,1,1);
 	// far 63=(3,3,3) at distance 2+2+2=6... wraps to 2+2+2=6? farthest is
 	// distance 6 → compare volumes.
-	near := g.Vol[21][22]
-	far := g.Vol[21][63]
+	near := g.Vol(21, 22)
+	far := g.Vol(21, 63)
 	if near <= far {
 		t.Errorf("near volume %d not above far volume %d", near, far)
 	}
@@ -204,7 +215,7 @@ func TestPMEMDVolumeDecaysWithDistance(t *testing.T) {
 
 func TestPARATECFullConnectivityUntil32K(t *testing.T) {
 	p := quickProfile(t, "paratec", 64)
-	g := topology.FromProfile(p, ipm.SteadyState)
+	g := steadyGraph(t, p, ipm.SteadyState)
 	if st := g.Stats(topology.DefaultCutoff); st.Min != 63 {
 		t.Errorf("paratec thresholded min degree %d, want 63", st.Min)
 	}

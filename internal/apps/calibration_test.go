@@ -80,7 +80,10 @@ func profileFor(t *testing.T, name string, procs int) (*ipm.Profile, analysis.Su
 	if err != nil {
 		t.Fatalf("profiling %s at P=%d: %v", name, procs, err)
 	}
-	sum := analysis.Summarize(prof, ipm.SteadyState, topology.DefaultCutoff)
+	sum, err := analysis.Summarize(prof, ipm.SteadyState, topology.DefaultCutoff)
+	if err != nil {
+		t.Fatalf("summarizing %s at P=%d: %v", name, procs, err)
+	}
 	profileCache[key] = prof
 	summaryCache[key] = sum
 	return prof, sum

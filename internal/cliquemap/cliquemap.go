@@ -64,8 +64,8 @@ func Greedy(g *topology.Graph, cutoff, blockSize int) (*Mapping, error) {
 
 	edges := g.Edges(cutoff)
 	sort.Slice(edges, func(a, b int) bool {
-		va := g.Vol[edges[a][0]][edges[a][1]]
-		vb := g.Vol[edges[b][0]][edges[b][1]]
+		va := g.Vol(edges[a][0], edges[a][1])
+		vb := g.Vol(edges[b][0], edges[b][1])
 		if va != vb {
 			return va > vb
 		}
@@ -73,7 +73,7 @@ func Greedy(g *topology.Graph, cutoff, blockSize int) (*Mapping, error) {
 	})
 
 	adjacent := func(a, b int) bool {
-		return g.Msgs[a][b] > 0 && g.MaxMsg[a][b] >= cutoff
+		return g.Connected(a, b, cutoff)
 	}
 	degree := func(n int) int { return len(g.Partners(n, cutoff)) }
 

@@ -8,7 +8,7 @@ import (
 )
 
 func cliqueGraph(groups, size int) *topology.Graph {
-	g := topology.NewGraph(groups * size)
+	g := topology.MustGraph(groups * size)
 	for grp := 0; grp < groups; grp++ {
 		base := grp * size
 		for i := base; i < base+size; i++ {
@@ -44,7 +44,7 @@ func TestGreedyFindsDisjointCliques(t *testing.T) {
 
 func TestGreedyCoversEveryNode(t *testing.T) {
 	f := func(seed int64) bool {
-		g := topology.NewGraph(20)
+		g := topology.MustGraph(20)
 		s := uint64(seed)
 		next := func() uint64 { s = s*2862933555777941757 + 3037000493; return s >> 33 }
 		for e := 0; e < 40; e++ {
@@ -78,7 +78,7 @@ func TestGreedyCoversEveryNode(t *testing.T) {
 
 func TestCliqueMembersAreMutuallyAdjacent(t *testing.T) {
 	f := func(seed int64) bool {
-		g := topology.NewGraph(16)
+		g := topology.MustGraph(16)
 		s := uint64(seed)
 		next := func() uint64 { s = s*6364136223846793005 + 1; return s >> 33 }
 		for e := 0; e < 30; e++ {
@@ -95,7 +95,7 @@ func TestCliqueMembersAreMutuallyAdjacent(t *testing.T) {
 			for x := 0; x < len(cl.Members); x++ {
 				for y := x + 1; y < len(cl.Members); y++ {
 					a, b := cl.Members[x], cl.Members[y]
-					if g.Msgs[a][b] == 0 || g.MaxMsg[a][b] < topology.DefaultCutoff {
+					if !g.Connected(a, b, topology.DefaultCutoff) {
 						return false
 					}
 				}
@@ -136,7 +136,7 @@ func TestCompareNaiveSavesOnCliques(t *testing.T) {
 func TestExternalEdgesGetExtraBlocks(t *testing.T) {
 	// A hub with 30 leaves: any clique holding the hub needs fan-out
 	// blocks for the external edges.
-	g := topology.NewGraph(31)
+	g := topology.MustGraph(31)
 	for j := 1; j < 31; j++ {
 		g.AddTraffic(0, j, 1, 1<<20, 1<<20)
 	}
@@ -171,7 +171,7 @@ func TestCliqueNeverWorseThanNaiveOnCliqueGraphs(t *testing.T) {
 }
 
 func TestGreedyValidation(t *testing.T) {
-	if _, err := Greedy(topology.NewGraph(4), 0, 2); err == nil {
+	if _, err := Greedy(topology.MustGraph(4), 0, 2); err == nil {
 		t.Error("block size 2 accepted")
 	}
 }

@@ -110,7 +110,10 @@ func FigAppData(r *Runner, app string) (*topology.Graph, map[int][]topology.TDCS
 		if err != nil {
 			return nil, nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, nil, err
+		}
 		series[procs] = g.Sweep(nil)
 		big = g
 	}

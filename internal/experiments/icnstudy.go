@@ -31,7 +31,10 @@ func ICNRows(r *Runner, procs, k int) ([]ICNRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		n, err := icn.Partition(g, 0, k)
 		if err != nil {
 			return nil, err

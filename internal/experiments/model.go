@@ -34,7 +34,10 @@ func CostRows(r *Runner, procs int, params hfast.Params) ([]CostRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		a, err := hfast.Assign(g, 0, params.BlockSize)
 		if err != nil {
 			return nil, err
@@ -202,7 +205,10 @@ func AblationRows(r *Runner, procs, blockSize int) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		s, _, err := cliquemap.CompareNaive(g, 0, blockSize)
 		if err != nil {
 			return nil, err
@@ -263,24 +269,25 @@ func NetsimRows(r *Runner, procs int) ([]NetsimRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		steps := p.Params["steps"]
 		if steps <= 0 {
 			steps = 1
 		}
 		var flows []netsim.Flow
-		for i := 0; i < g.P; i++ {
-			for j := i + 1; j < g.P; j++ {
-				if g.Msgs[i][j] == 0 {
-					continue
-				}
-				// One aggregate flow per pair per direction, one step's
-				// worth of bytes.
-				per := g.Vol[i][j] / int64(2*steps)
-				flows = append(flows, netsim.Flow{Src: i, Dst: j, Bytes: per})
-				flows = append(flows, netsim.Flow{Src: j, Dst: i, Bytes: per})
+		g.ForEachEdge(func(i, j int, e topology.Edge) {
+			if e.Msgs == 0 {
+				return
 			}
-		}
+			// One aggregate flow per pair per direction, one step's worth
+			// of bytes.
+			per := e.Vol / int64(2*steps)
+			flows = append(flows, netsim.Flow{Src: i, Dst: j, Bytes: per})
+			flows = append(flows, netsim.Flow{Src: j, Dst: i, Bytes: per})
+		})
 		a, err := hfast.Assign(g, 0, hfast.DefaultBlockSize)
 		if err != nil {
 			return nil, err
@@ -372,7 +379,11 @@ func TraceRows(r *Runner, procs int) ([]TraceRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, TraceRow{App: app, Procs: procs, Op: trace.Analyze(p, 0)})
+		op, err := trace.Analyze(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TraceRow{App: app, Procs: procs, Op: op})
 	}
 	return rows, nil
 }

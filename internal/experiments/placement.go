@@ -38,7 +38,10 @@ func PlacementRows(r *Runner, procs, iters int) ([]PlacementRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		pl, before, after, err := meshtorus.OptimizePlacement(g, m, 0, iters, 42)
 		if err != nil {
 			return nil, err

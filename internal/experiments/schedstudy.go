@@ -96,7 +96,10 @@ func FaultRows(r *Runner, procs, failures int) ([]FaultRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		rep, err := sched.FaultImpact(g, m, failed, hfast.DefaultBlockSize)
 		if err != nil {
 			return nil, err

@@ -53,7 +53,11 @@ func Table3Rows(r *Runner) ([]analysis.Summary, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, analysis.Summarize(p, ipm.SteadyState, topology.DefaultCutoff))
+			sum, err := analysis.Summarize(p, ipm.SteadyState, topology.DefaultCutoff)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, sum)
 		}
 	}
 	return rows, nil
@@ -95,7 +99,10 @@ func CasesRows(r *Runner, procs int) ([]CaseResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := topology.FromProfile(p, ipm.SteadyState)
+		g, err := topology.FromProfile(p, ipm.SteadyState)
+		if err != nil {
+			return nil, err
+		}
 		got := analysis.Classify(g, analysis.ClassifyOptions{MeshEmbeds: meshEmbeds})
 		out = append(out, CaseResult{App: in.Name, Procs: procs, Got: got, Expected: in.Case})
 	}

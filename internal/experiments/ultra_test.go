@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// ultraTestApps keeps the default test run fast: the near-neighbor
+// skeletons finish P=1024 in well under a second each, while the
+// all-to-all codes (pmemd, paratec) take tens of seconds and only run
+// when HFAST_TEST_ULTRA=1 asks for the full six-skeleton grid.
+func ultraTestApps() []string {
+	if os.Getenv("HFAST_TEST_ULTRA") != "" {
+		return PaperApps
+	}
+	return []string{"cactus", "lbmhd", "gtc"}
+}
+
+func TestUltraRowsAtP1024(t *testing.T) {
+	if os.Getenv("HFAST_TEST_QUICK") != "" {
+		t.Skip("HFAST_TEST_QUICK set")
+	}
+	r := testRunner()
+	appNames := ultraTestApps()
+	rows, err := UltraRows(r, appNames, []int{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(appNames) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(appNames))
+	}
+	for _, row := range rows {
+		if row.Procs != 1024 {
+			t.Errorf("%s: procs %d", row.App, row.Procs)
+		}
+		if row.Edges <= 0 || int64(2*row.Edges) >= row.DenseCells {
+			t.Errorf("%s: %d edges vs %d dense cells — graph not sparse", row.App, row.Edges, row.DenseCells)
+		}
+		if row.Stats.Max <= 0 || row.Cmp.Blocks < 1024 {
+			t.Errorf("%s: bad row %+v", row.App, row)
+		}
+		if row.Cmp.HFAST.Total() <= 0 || row.Cmp.FatTree.Total() <= 0 {
+			t.Errorf("%s: non-positive costs", row.App)
+		}
+	}
+}
+
+func TestUltraRenders(t *testing.T) {
+	if os.Getenv("HFAST_TEST_QUICK") != "" {
+		t.Skip("HFAST_TEST_QUICK set")
+	}
+	old := UltraProcs
+	UltraProcs = []int{64}
+	defer func() { UltraProcs = old }()
+	var b strings.Builder
+	if err := Ultra(&b, testRunner()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Ultra-scale grid", "cactus", "paratec", "Cost ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ultra output missing %q", want)
+		}
+	}
+}

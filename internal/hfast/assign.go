@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/hfast-sim/hfast/internal/par"
 	"github.com/hfast-sim/hfast/internal/topology"
 )
 
@@ -84,10 +85,17 @@ func Assign(g *topology.Graph, cutoff, blockSize int) (*Assignment, error) {
 		Partners:  make([][]int, g.P),
 		Blocks:    make([]int, g.P),
 	}
-	for i := 0; i < g.P; i++ {
-		a.Partners[i] = g.Partners(i, cutoff)
-		a.Blocks[i] = BlocksForDegree(len(a.Partners[i]), blockSize)
-		a.TotalBlocks += a.Blocks[i]
+	// Per-rank partner extraction and block sizing are independent, so
+	// large fabrics shard over the worker pool; the block total is reduced
+	// afterwards to keep it deterministic.
+	par.Ranges(g.P, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Partners[i] = g.Partners(i, cutoff)
+			a.Blocks[i] = BlocksForDegree(len(a.Partners[i]), blockSize)
+		}
+	})
+	for _, b := range a.Blocks {
+		a.TotalBlocks += b
 	}
 	return a, nil
 }
@@ -112,11 +120,13 @@ func AssignDegrees(degrees []int, blockSize int) *Assignment {
 }
 
 // partnerIndex locates dst in node src's partner list, -1 if absent.
+// Partner lists are sorted (Graph.Partners and AssignFromHints both emit
+// sorted slices), so this is a binary search.
 func (a *Assignment) partnerIndex(src, dst int) int {
-	for i, p := range a.Partners[src] {
-		if p == dst {
-			return i
-		}
+	ps := a.Partners[src]
+	k := sort.SearchInts(ps, dst)
+	if k < len(ps) && ps[k] == dst {
+		return k
 	}
 	return -1
 }
@@ -154,19 +164,30 @@ func (a *Assignment) Ports() PortUsage {
 }
 
 // MaxRoute returns the worst-case route among all provisioned pairs
-// (zero value when nothing is provisioned).
+// (zero value when nothing is provisioned). Per-rank maxima are computed
+// on the worker pool and reduced serially.
 func (a *Assignment) MaxRoute() Route {
+	best := make([]int, a.P)
+	par.Ranges(a.P, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := 0
+			for idx, j := range a.Partners[i] {
+				if j < i {
+					continue
+				}
+				di := a.partnerIndex(j, i)
+				hops := PartnerDepth(idx, len(a.Partners[i]), a.BlockSize) + PartnerDepth(di, len(a.Partners[j]), a.BlockSize)
+				if hops > m {
+					m = hops
+				}
+			}
+			best[i] = m
+		}
+	})
 	var max Route
-	for i := 0; i < a.P; i++ {
-		for idx, j := range a.Partners[i] {
-			if j < i {
-				continue
-			}
-			di := a.partnerIndex(j, i)
-			hops := PartnerDepth(idx, len(a.Partners[i]), a.BlockSize) + PartnerDepth(di, len(a.Partners[j]), a.BlockSize)
-			if hops > max.SBHops {
-				max = Route{SBHops: hops, Crossings: hops + 1}
-			}
+	for _, m := range best {
+		if m > max.SBHops {
+			max = Route{SBHops: m, Crossings: m + 1}
 		}
 	}
 	return max

@@ -86,7 +86,7 @@ func TestPartnerDepth(t *testing.T) {
 
 // starGraph builds a star with hub degree n-1 and big messages.
 func starGraph(n int) *topology.Graph {
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	for j := 1; j < n; j++ {
 		g.AddTraffic(0, j, 1, 1<<20, 1<<20)
 	}
@@ -95,7 +95,7 @@ func starGraph(n int) *topology.Graph {
 
 // ringGraph builds a ring with big messages.
 func ringGraph(n int) *topology.Graph {
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	for i := 0; i < n; i++ {
 		g.AddTraffic(i, (i+1)%n, 1, 1<<20, 1<<20)
 	}
@@ -149,7 +149,7 @@ func TestAssignStarHighDegree(t *testing.T) {
 }
 
 func TestAssignRespectsCutoff(t *testing.T) {
-	g := topology.NewGraph(4)
+	g := topology.MustGraph(4)
 	g.AddTraffic(0, 1, 10, 10<<10, 8<<10) // above 2 KB
 	g.AddTraffic(0, 2, 10, 1000, 100)     // below
 	a, err := Assign(g, 0, 16)            // cutoff 0 → DefaultCutoff
@@ -215,7 +215,7 @@ func TestCompareFullGraphFavorsFatTree(t *testing.T) {
 	// A complete graph at P=256 forces ~19 blocks per node: HFAST should
 	// cost more than the fat-tree (the paper's case-iv conclusion).
 	n := 256
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			g.AddTraffic(i, j, 1, 64<<10, 64<<10)
@@ -342,7 +342,7 @@ func TestFabricRejectsWrongSize(t *testing.T) {
 // TestRouteSymmetryQuick property-checks route symmetry on random graphs.
 func TestRouteSymmetryQuick(t *testing.T) {
 	f := func(seed int64) bool {
-		g := topology.NewGraph(24)
+		g := topology.MustGraph(24)
 		s := uint64(seed)
 		next := func() uint64 { s = s*6364136223846793005 + 1442695040888963407; return s >> 33 }
 		for e := 0; e < 60; e++ {

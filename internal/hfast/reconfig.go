@@ -52,7 +52,7 @@ func NewFabric(procs int, params Params) (*Fabric, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hfast: initial mesh: %w", err)
 	}
-	g := topology.NewGraph(procs)
+	g := topology.MustGraph(procs) // procs validated above
 	for _, e := range mesh.Edges() {
 		// Mesh links are provisioned at full bandwidth: mark them above
 		// any realistic threshold.

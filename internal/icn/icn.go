@@ -61,8 +61,8 @@ func Partition(g *topology.Graph, cutoff, k int) (*Network, error) {
 				}
 				var vol int64
 				for _, m := range block {
-					if g.MaxMsg[i][m] >= cutoff {
-						vol += g.Vol[i][m]
+					if g.MaxMsg(i, m) >= cutoff {
+						vol += g.Vol(i, m)
 					}
 				}
 				if vol > bestVol {

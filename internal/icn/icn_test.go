@@ -7,7 +7,7 @@ import (
 )
 
 func meshGraph(nx, ny int) *topology.Graph {
-	g := topology.NewGraph(nx * ny)
+	g := topology.MustGraph(nx * ny)
 	rank := func(x, y int) int { return y*nx + x }
 	for y := 0; y < ny; y++ {
 		for x := 0; x < nx; x++ {
@@ -75,7 +75,7 @@ func TestMeshContractsIntoICN(t *testing.T) {
 func TestHighDegreeHubBreaksICN(t *testing.T) {
 	// A star of degree 63 cannot fit an ICN with k=4: the hub's block
 	// must reach ~60 external blocks over 4 ports.
-	g := topology.NewGraph(64)
+	g := topology.MustGraph(64)
 	for j := 1; j < 64; j++ {
 		g.AddTraffic(0, j, 1, 1<<20, 1<<20)
 	}
@@ -101,7 +101,7 @@ func TestHighDegreeHubBreaksICN(t *testing.T) {
 
 func TestIntraBlockTrafficFree(t *testing.T) {
 	// Two disjoint cliques of size 4 with k=4: all edges internal.
-	g := topology.NewGraph(8)
+	g := topology.MustGraph(8)
 	for base := 0; base < 8; base += 4 {
 		for i := base; i < base+4; i++ {
 			for j := i + 1; j < base+4; j++ {
@@ -124,7 +124,7 @@ func TestIntraBlockTrafficFree(t *testing.T) {
 }
 
 func TestContractionThresholding(t *testing.T) {
-	g := topology.NewGraph(8)
+	g := topology.MustGraph(8)
 	g.AddTraffic(0, 4, 1, 10<<10, 10<<10) // big: crosses blocks
 	g.AddTraffic(1, 5, 1, 100, 100)       // small: ignored at 2 KB
 	n, err := Partition(g, 0, 4)

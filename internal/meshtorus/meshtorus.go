@@ -257,7 +257,7 @@ func Embed(g *topology.Graph, m Mesh, cutoff int) (Embedding, error) {
 			emb.Isomorphic = false
 		}
 		// Dimension-ordered route: correct one dimension at a time.
-		vol := g.Vol[e[0]][e[1]]
+		vol := g.Vol(e[0], e[1])
 		for _, hop := range m.RouteDOR(e[0], e[1]) {
 			linkLoad[hop] += vol
 		}

@@ -144,7 +144,7 @@ func TestRouteDORLengthMatchesDistance(t *testing.T) {
 func TestEmbedIsomorphic(t *testing.T) {
 	// A graph that IS the mesh embeds with dilation 1.
 	m, _ := New([]int{4, 4}, false)
-	g := topology.NewGraph(16)
+	g := topology.MustGraph(16)
 	for _, e := range m.Edges() {
 		g.AddTraffic(e[0], e[1], 1, 1<<20, 1<<20)
 	}
@@ -160,7 +160,7 @@ func TestEmbedIsomorphic(t *testing.T) {
 func TestEmbedNonIsomorphic(t *testing.T) {
 	// A ring with a long chord cannot be dilation-1 on a 1D mesh.
 	m, _ := New([]int{16}, false)
-	g := topology.NewGraph(16)
+	g := topology.MustGraph(16)
 	g.AddTraffic(0, 15, 1, 1<<20, 1<<20)
 	emb, err := Embed(g, m, 0)
 	if err != nil {
@@ -176,7 +176,7 @@ func TestEmbedNonIsomorphic(t *testing.T) {
 
 func TestEmbedSizeMismatch(t *testing.T) {
 	m, _ := New([]int{4}, false)
-	g := topology.NewGraph(8)
+	g := topology.MustGraph(8)
 	if _, err := Embed(g, m, 0); err == nil {
 		t.Error("size mismatch accepted")
 	}

@@ -49,7 +49,7 @@ func (m Mesh) PlacementCost(g *topology.Graph, pl Placement, cutoff int) (int64,
 	var cost int64
 	for _, e := range g.Edges(cutoff) {
 		d := m.Distance(pl[e[0]], pl[e[1]])
-		cost += g.Vol[e[0]][e[1]] * int64(d)
+		cost += g.Vol(e[0], e[1]) * int64(d)
 	}
 	return cost, nil
 }
@@ -74,8 +74,8 @@ func OptimizePlacement(g *topology.Graph, m Mesh, cutoff, iters int, seed uint64
 	}
 	adj := make([][]edge, g.P)
 	for _, e := range g.Edges(cutoff) {
-		adj[e[0]] = append(adj[e[0]], edge{to: e[1], vol: g.Vol[e[0]][e[1]]})
-		adj[e[1]] = append(adj[e[1]], edge{to: e[0], vol: g.Vol[e[0]][e[1]]})
+		adj[e[0]] = append(adj[e[0]], edge{to: e[1], vol: g.Vol(e[0], e[1])})
+		adj[e[1]] = append(adj[e[1]], edge{to: e[0], vol: g.Vol(e[0], e[1])})
 	}
 	rankCost := func(r int, pl Placement) int64 {
 		var c int64
@@ -160,7 +160,7 @@ func EmbedPlaced(g *topology.Graph, m Mesh, pl Placement, cutoff int) (Embedding
 		if d > 1 {
 			emb.Isomorphic = false
 		}
-		vol := g.Vol[e[0]][e[1]]
+		vol := g.Vol(e[0], e[1])
 		for _, hop := range m.RouteDOR(a, b) {
 			linkLoad[hop] += vol
 		}

@@ -10,7 +10,7 @@ import (
 // scrambledRing builds a ring over a permuted rank order so identity
 // placement on a 1D mesh is badly dilated but a perfect placement exists.
 func scrambledRing(n int) *topology.Graph {
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = (i*7 + 3) % n // 7 coprime with n=16 etc.
@@ -23,7 +23,7 @@ func scrambledRing(n int) *topology.Graph {
 
 func TestPlacementCostIdentity(t *testing.T) {
 	m, _ := New([]int{4, 4}, true)
-	g := topology.NewGraph(16)
+	g := topology.MustGraph(16)
 	g.AddTraffic(0, 1, 1, 1000, 1<<20) // adjacent on the mesh
 	g.AddTraffic(0, 5, 1, 1000, 1<<20) // diagonal: distance 2
 	cost, err := m.PlacementCost(g, IdentityPlacement(16), 0)
@@ -37,14 +37,14 @@ func TestPlacementCostIdentity(t *testing.T) {
 
 func TestPlacementValidation(t *testing.T) {
 	m, _ := New([]int{4}, false)
-	g := topology.NewGraph(4)
+	g := topology.MustGraph(4)
 	if _, err := m.PlacementCost(g, Placement{0, 1, 2}, 0); err == nil {
 		t.Error("short placement accepted")
 	}
 	if _, err := m.PlacementCost(g, Placement{0, 0, 1, 2}, 0); err == nil {
 		t.Error("non-permutation accepted")
 	}
-	big := topology.NewGraph(8)
+	big := topology.MustGraph(8)
 	if _, err := m.PlacementCost(big, IdentityPlacement(8), 0); err == nil {
 		t.Error("size mismatch accepted")
 	}

@@ -128,7 +128,7 @@ func TestSimulateRejectsBadFlows(t *testing.T) {
 }
 
 func ringGraph(n, size int) *topology.Graph {
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	for i := 0; i < n; i++ {
 		g.AddTraffic(i, (i+1)%n, 1, int64(size), size)
 	}
@@ -222,7 +222,7 @@ func TestMeshVsHFASTOnNonIsomorphicPattern(t *testing.T) {
 	// A shuffle pattern (i → i+P/2) dilates badly on a 1D mesh but gets
 	// dedicated circuits on HFAST: HFAST's makespan must win.
 	const p = 16
-	g := topology.NewGraph(p)
+	g := topology.MustGraph(p)
 	var flows []Flow
 	for i := 0; i < p/2; i++ {
 		j := i + p/2

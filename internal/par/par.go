@@ -1,0 +1,74 @@
+// Package par provides the bounded worker pool the analysis pipeline
+// shards over: graph builds, TDC sweeps, and fabric assignment all iterate
+// per-rank state that is independent across ranks, so they split the rank
+// range into contiguous shards and run one shard per worker. The pool is
+// bounded by GOMAXPROCS and collapses to a plain loop for small inputs,
+// keeping the P≤256 paper grid on the exact code path it always ran.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SerialThreshold is the input size below which Ranges runs inline: the
+// paper-scale grids (P ≤ 256) are too small for goroutine fan-out to pay
+// for itself, and keeping them serial preserves their allocation profile.
+const SerialThreshold = 512
+
+// Workers returns the pool bound for n independent items: at most
+// GOMAXPROCS, at most one worker per item, at least one.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Ranges splits [0,n) into contiguous shards and calls fn(lo,hi) for each,
+// one shard per pooled worker. Shards are disjoint, so fn may write to
+// per-index state without locking. When n < minN (SerialThreshold if
+// minN ≤ 0) or only one worker is available, fn(0,n) runs on the calling
+// goroutine. Ranges returns when every shard has completed.
+func Ranges(n, minN int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minN <= 0 {
+		minN = SerialThreshold
+	}
+	workers := Workers(n)
+	if n < minN || workers == 1 {
+		fn(0, n)
+		return
+	}
+	// A few shards per worker smooths uneven per-rank work (degree skew)
+	// without measurable scheduling overhead at these shard sizes.
+	shards := 4 * workers
+	if shards > n {
+		shards = n
+	}
+	per := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(lo, hi int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangesCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, SerialThreshold - 1, SerialThreshold, 4096} {
+		hits := make([]int32, n)
+		Ranges(n, 0, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad shard [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestRangesSmallInputRunsInline(t *testing.T) {
+	calls := 0
+	Ranges(16, 32, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 16 {
+			t.Errorf("inline shard [%d,%d), want [0,16)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("small input split into %d shards", calls)
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d", w)
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Errorf("Workers(big) = %d", w)
+	}
+}

@@ -134,19 +134,21 @@ func Heatmap(w io.Writer, title string, g *topology.Graph, cells int) {
 	tile := (n + cells - 1) / cells
 	tiles := (n + tile - 1) / tile
 	sums := make([][]int64, tiles)
-	var max int64
-	for ti := 0; ti < tiles; ti++ {
+	for ti := range sums {
 		sums[ti] = make([]int64, tiles)
-		for tj := 0; tj < tiles; tj++ {
-			var s int64
-			for i := ti * tile; i < (ti+1)*tile && i < n; i++ {
-				for j := tj * tile; j < (tj+1)*tile && j < n; j++ {
-					s += g.Vol[i][j]
-				}
-			}
-			sums[ti][tj] = s
-			if s > max {
-				max = s
+	}
+	// Accumulate tile sums from the sparse adjacency: each rank's partner
+	// list contributes to one tile row, so the scan is O(E) not O(P²).
+	for i := 0; i < n; i++ {
+		for _, e := range g.Adj(i) {
+			sums[i/tile][e.To/tile] += e.Vol
+		}
+	}
+	var max int64
+	for ti := range sums {
+		for tj := range sums[ti] {
+			if sums[ti][tj] > max {
+				max = sums[ti][tj]
 			}
 		}
 	}

@@ -71,7 +71,7 @@ func TestCDFPlot(t *testing.T) {
 }
 
 func TestHeatmap(t *testing.T) {
-	g := topology.NewGraph(8)
+	g := topology.MustGraph(8)
 	g.AddTraffic(0, 1, 1, 1<<20, 1<<20)
 	g.AddTraffic(6, 7, 1, 1<<10, 1<<10)
 	var b strings.Builder
@@ -93,7 +93,7 @@ func TestHeatmap(t *testing.T) {
 }
 
 func TestHeatmapDownsamples(t *testing.T) {
-	g := topology.NewGraph(100)
+	g := topology.MustGraph(100)
 	g.AddTraffic(0, 99, 1, 1<<20, 1<<20)
 	var b strings.Builder
 	Heatmap(&b, "big", g, 10)
@@ -146,7 +146,7 @@ func TestRenderByteStable(t *testing.T) {
 		64:  {{Cutoff: 0, Max: 6, Avg: 5}, {Cutoff: 2048, Max: 6, Avg: 5}},
 		128: {{Cutoff: 0, Max: 7, Avg: 6}, {Cutoff: 2048, Max: 6, Avg: 5.2}},
 	}
-	g := topology.NewGraph(16)
+	g := topology.MustGraph(16)
 	g.AddTraffic(0, 1, 1, 1<<20, 1<<20)
 	g.AddTraffic(9, 14, 3, 1<<12, 1<<12)
 	render := func() string {

@@ -75,18 +75,13 @@ func FaultImpact(g *topology.Graph, m meshtorus.Mesh, failed []int, blockSize in
 
 	// HFAST: drop the failed nodes' traffic and re-provision; routes for
 	// survivors keep their block-tree depths.
-	healthy := topology.NewGraph(g.P)
-	for i := 0; i < g.P; i++ {
-		if dead[i] {
-			continue
+	healthy := topology.MustGraph(g.P) // g.P is a valid size by construction
+	g.ForEachEdge(func(i, j int, e topology.Edge) {
+		if dead[i] || dead[j] || e.Msgs == 0 {
+			return
 		}
-		for j := i + 1; j < g.P; j++ {
-			if dead[j] || g.Msgs[i][j] == 0 {
-				continue
-			}
-			healthy.AddTraffic(i, j, g.Msgs[i][j], g.Vol[i][j], g.MaxMsg[i][j])
-		}
-	}
+		healthy.AddTraffic(i, j, e.Msgs, e.Vol, e.MaxMsg)
+	})
 	before, err := hfast.Assign(g, 0, blockSize)
 	if err != nil {
 		return FaultReport{}, err

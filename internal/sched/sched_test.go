@@ -180,7 +180,7 @@ func TestSimulateConservation(t *testing.T) {
 
 // ringGraph builds a large-message ring for fault tests.
 func ringGraph(n int) *topology.Graph {
-	g := topology.NewGraph(n)
+	g := topology.MustGraph(n)
 	for i := 0; i < n; i++ {
 		g.AddTraffic(i, (i+1)%n, 1, 1<<20, 1<<20)
 	}
@@ -232,7 +232,7 @@ func TestFaultImpactForcedDetour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := topology.NewGraph(16)
+	g := topology.MustGraph(16)
 	g.AddTraffic(4, 6, 1, 1<<20, 1<<20)
 	rep, err := FaultImpact(g, m, []int{5, 7}, 16)
 	if err != nil {
@@ -252,7 +252,7 @@ func TestFaultImpactDisconnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := topology.NewGraph(8)
+	g := topology.MustGraph(8)
 	g.AddTraffic(0, 7, 1, 1<<20, 1<<20)
 	rep, err := FaultImpact(g, m, []int{4}, 16)
 	if err != nil {

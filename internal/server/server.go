@@ -514,7 +514,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // buildPlan provisions a fabric and its physical wiring for a profile's
 // steady-state topology.
 func buildPlan(prof *ipm.Profile, cutoff, blockSize int) (*planArtifact, error) {
-	g := topology.FromProfile(prof, ipm.SteadyState)
+	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	if err != nil {
+		return nil, err
+	}
 	a, err := core.Assign(g, cutoff, blockSize)
 	if err != nil {
 		return nil, err
@@ -555,7 +558,10 @@ func planResponse(art *planArtifact) *ProvisionResponse {
 func buildComparison(prof *ipm.Profile, cutoff, blockSize int) (*CompareResponse, error) {
 	params := core.DefaultParams()
 	params.BlockSize = blockSize
-	g := topology.FromProfile(prof, ipm.SteadyState)
+	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	if err != nil {
+		return nil, err
+	}
 	a, err := core.Assign(g, cutoff, blockSize)
 	if err != nil {
 		return nil, err

@@ -289,6 +289,29 @@ func TestProvisionUploadedProfile(t *testing.T) {
 	}
 }
 
+// TestProvisionUltraScale serves a provisioning request for a P=1024
+// skeleton profile under the default worker-pool limits — the issue's
+// acceptance scenario for the sparse analysis path.
+func TestProvisionUltraScale(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/provision", ProvisionRequest{
+		ProfileRequest: ProfileRequest{App: "cactus", Procs: 1024, Steps: 1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ProvisionResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if out.Procs != 1024 {
+		t.Fatalf("plan procs %d, want 1024", out.Procs)
+	}
+	if out.TotalBlocks < 1024 || out.Circuits <= 0 {
+		t.Fatalf("implausible ultra-scale plan: %+v", out)
+	}
+}
+
 // TestCompareEndpoint checks the GET query surface and text rendering.
 func TestCompareEndpoint(t *testing.T) {
 	_, ts := testServer(t, Config{Workers: 2})

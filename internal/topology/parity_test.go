@@ -1,0 +1,186 @@
+package topology_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// denseRef is the dense P×P reference the sparse Graph replaced: three
+// symmetric matrices and the straightforward quadratic scans over them.
+// The parity tests below check that the sparse representation produces
+// byte-identical analysis output for every skeleton at the paper sizes.
+type denseRef struct {
+	p      int
+	vol    [][]int64
+	msgs   [][]int64
+	maxMsg [][]int
+}
+
+func newDenseRef(p int) *denseRef {
+	d := &denseRef{p: p, vol: make([][]int64, p), msgs: make([][]int64, p), maxMsg: make([][]int, p)}
+	for i := 0; i < p; i++ {
+		d.vol[i] = make([]int64, p)
+		d.msgs[i] = make([]int64, p)
+		d.maxMsg[i] = make([]int, p)
+	}
+	return d
+}
+
+func (d *denseRef) add(src, dst int, msgs, bytes int64, maxMsg int) {
+	if src == dst {
+		return
+	}
+	d.vol[src][dst] += bytes
+	d.vol[dst][src] += bytes
+	d.msgs[src][dst] += msgs
+	d.msgs[dst][src] += msgs
+	if maxMsg > d.maxMsg[src][dst] {
+		d.maxMsg[src][dst] = maxMsg
+		d.maxMsg[dst][src] = maxMsg
+	}
+}
+
+func (d *denseRef) partners(rank, cutoff int) []int {
+	var out []int
+	for j := 0; j < d.p; j++ {
+		if d.msgs[rank][j] > 0 && d.maxMsg[rank][j] >= cutoff {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (d *denseRef) stats(cutoff int) topology.TDCStats {
+	deg := make([]int, d.p)
+	for i := range deg {
+		deg[i] = len(d.partners(i, cutoff))
+	}
+	st := topology.TDCStats{Cutoff: cutoff, Min: deg[0], Max: deg[0]}
+	sum := 0
+	for _, dg := range deg {
+		sum += dg
+		if dg > st.Max {
+			st.Max = dg
+		}
+		if dg < st.Min {
+			st.Min = dg
+		}
+	}
+	st.Avg = float64(sum) / float64(len(deg))
+	sorted := append([]int(nil), deg...)
+	sort.Ints(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		st.Median = float64(sorted[n/2])
+	} else {
+		st.Median = float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+	return st
+}
+
+func (d *denseRef) sweep(cutoffs []int) []topology.TDCStats {
+	out := make([]topology.TDCStats, 0, len(cutoffs))
+	for _, c := range cutoffs {
+		out = append(out, d.stats(c))
+	}
+	return out
+}
+
+// parityProcs returns the grid sizes under test; HFAST_TEST_QUICK=1 (the
+// race CI knob) keeps only the small size.
+func parityProcs() []int {
+	if os.Getenv("HFAST_TEST_QUICK") != "" {
+		return []int{64}
+	}
+	return []int{64, 256}
+}
+
+func TestSparseDenseParityAllSkeletons(t *testing.T) {
+	for _, app := range apps.Names() {
+		for _, procs := range parityProcs() {
+			t.Run(fmt.Sprintf("%s/P%d", app, procs), func(t *testing.T) {
+				prof, err := apps.ProfileRun(app, apps.Config{Procs: procs, Steps: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := topology.FromProfile(prof, ipm.SteadyState)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newDenseRef(procs)
+				for _, pt := range prof.Pairs(ipm.SteadyState) {
+					ref.add(pt.Src, pt.Dst, pt.Msgs, pt.Bytes, pt.MaxMsg)
+				}
+
+				// Cell-level parity: the sparse accessors agree with the
+				// dense matrices everywhere.
+				for i := 0; i < procs; i++ {
+					for j := 0; j < procs; j++ {
+						if g.Vol(i, j) != ref.vol[i][j] || g.Msgs(i, j) != ref.msgs[i][j] || g.MaxMsg(i, j) != ref.maxMsg[i][j] {
+							t.Fatalf("cell (%d,%d): sparse (%d,%d,%d) vs dense (%d,%d,%d)",
+								i, j, g.Vol(i, j), g.Msgs(i, j), g.MaxMsg(i, j),
+								ref.vol[i][j], ref.msgs[i][j], ref.maxMsg[i][j])
+						}
+					}
+				}
+
+				// TDC and full cutoff sweep: byte-identical stats.
+				for _, cutoff := range []int{0, topology.DefaultCutoff} {
+					got := fmt.Sprintf("%+v", g.Stats(cutoff))
+					want := fmt.Sprintf("%+v", ref.stats(cutoff))
+					if got != want {
+						t.Fatalf("TDC stats at cutoff %d: %s vs dense %s", cutoff, got, want)
+					}
+				}
+				gotSweep := fmt.Sprintf("%+v", g.Sweep(nil))
+				wantSweep := fmt.Sprintf("%+v", ref.sweep(topology.PaperCutoffs()))
+				if gotSweep != wantSweep {
+					t.Fatalf("sweep mismatch:\nsparse %s\ndense  %s", gotSweep, wantSweep)
+				}
+
+				// Assignment parity: provisioning from the sparse graph
+				// matches an assignment built from the dense partner lists.
+				a, err := hfast.Assign(g, 0, hfast.DefaultBlockSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				densePartners := make([][]int, procs)
+				for i := range densePartners {
+					densePartners[i] = ref.partners(i, topology.DefaultCutoff)
+				}
+				b, err := hfast.AssignFromHints(densePartners, hfast.DefaultBlockSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprintf("%v", a.Partners) != fmt.Sprintf("%v", b.Partners) {
+					t.Fatal("partner lists diverge from dense reference")
+				}
+				if fmt.Sprintf("%v", a.Blocks) != fmt.Sprintf("%v", b.Blocks) || a.TotalBlocks != b.TotalBlocks {
+					t.Fatalf("block assignment diverges: %d vs %d total", a.TotalBlocks, b.TotalBlocks)
+				}
+
+				// Cost parity: identical assignments price identically.
+				params := hfast.DefaultParams()
+				ca, err := hfast.Compare(a, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := hfast.Compare(b, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprintf("%+v", ca) != fmt.Sprintf("%+v", cb) {
+					t.Fatalf("cost comparison diverges:\nsparse %+v\ndense  %+v", ca, cb)
+				}
+			})
+		}
+	}
+}

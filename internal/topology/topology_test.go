@@ -11,20 +11,42 @@ import (
 )
 
 func TestGraphSymmetry(t *testing.T) {
-	g := NewGraph(4)
+	g := MustGraph(4)
 	g.AddTraffic(0, 1, 2, 100, 60)
 	g.AddTraffic(3, 1, 1, 50, 50)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			if g.Vol[i][j] != g.Vol[j][i] || g.Msgs[i][j] != g.Msgs[j][i] || g.MaxMsg[i][j] != g.MaxMsg[j][i] {
-				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			if g.Vol(i, j) != g.Vol(j, i) || g.Msgs(i, j) != g.Msgs(j, i) || g.MaxMsg(i, j) != g.MaxMsg(j, i) {
+				t.Fatalf("graph not symmetric at (%d,%d)", i, j)
 			}
 		}
 	}
 }
 
+func TestGraphErrors(t *testing.T) {
+	if _, err := NewGraph(0); err == nil {
+		t.Error("NewGraph(0) did not error")
+	}
+	if _, err := NewGraph(-3); err == nil {
+		t.Error("NewGraph(-3) did not error")
+	}
+	g := MustGraph(4)
+	if err := g.AddTraffic(0, 4, 1, 1, 1); err == nil {
+		t.Error("out-of-range dst did not error")
+	}
+	if err := g.AddTraffic(-1, 2, 1, 1, 1); err == nil {
+		t.Error("out-of-range src did not error")
+	}
+	if err := g.AddTraffic(0, 1, 1, 1, 1); err != nil {
+		t.Errorf("valid pair errored: %v", err)
+	}
+	if p := g.Partners(99, 0); p != nil {
+		t.Errorf("out-of-range Partners = %v, want nil", p)
+	}
+}
+
 func TestSelfTrafficIgnored(t *testing.T) {
-	g := NewGraph(3)
+	g := MustGraph(3)
 	g.AddTraffic(1, 1, 5, 500, 100)
 	if g.TotalBytes() != 0 {
 		t.Error("self traffic counted")
@@ -35,7 +57,7 @@ func TestSelfTrafficIgnored(t *testing.T) {
 }
 
 func TestDegreesAndCutoff(t *testing.T) {
-	g := NewGraph(4)
+	g := MustGraph(4)
 	g.AddTraffic(0, 1, 1, 10000, 10000) // big
 	g.AddTraffic(0, 2, 1, 100, 100)     // small
 	g.AddTraffic(0, 3, 1, 2048, 2048)   // exactly at cutoff
@@ -51,7 +73,7 @@ func TestDegreesAndCutoff(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	g := NewGraph(4)
+	g := MustGraph(4)
 	// Star: node 0 talks to everyone.
 	for j := 1; j < 4; j++ {
 		g.AddTraffic(0, j, 1, 5000, 5000)
@@ -68,12 +90,36 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func TestAdjSortedAndMerged(t *testing.T) {
+	g := MustGraph(6)
+	// Insert partners out of order, with a duplicate pair to merge.
+	g.AddTraffic(2, 5, 1, 10, 10)
+	g.AddTraffic(2, 1, 1, 20, 20)
+	g.AddTraffic(2, 4, 1, 30, 30)
+	g.AddTraffic(1, 2, 2, 40, 50) // reverse direction of (2,1)
+	adj := g.Adj(2)
+	if len(adj) != 3 {
+		t.Fatalf("adj(2) has %d entries, want 3: %+v", len(adj), adj)
+	}
+	for k := 1; k < len(adj); k++ {
+		if adj[k-1].To >= adj[k].To {
+			t.Fatalf("adjacency not sorted: %+v", adj)
+		}
+	}
+	if adj[0].To != 1 || adj[0].Vol != 60 || adj[0].Msgs != 3 || adj[0].MaxMsg != 50 {
+		t.Errorf("merged edge wrong: %+v", adj[0])
+	}
+	if g.EdgeCount() != 3 {
+		t.Errorf("EdgeCount = %d, want 3", g.EdgeCount())
+	}
+}
+
 func TestTDCMonotoneInCutoffQuick(t *testing.T) {
 	// Property: raising the cutoff never increases any degree.
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := 3 + rng.Intn(14)
-		g := NewGraph(p)
+		g := MustGraph(p)
 		edges := rng.Intn(3 * p)
 		for e := 0; e < edges; e++ {
 			i, j := rng.Intn(p), rng.Intn(p)
@@ -110,7 +156,7 @@ func TestPaperCutoffs(t *testing.T) {
 }
 
 func TestSweepMatchesStats(t *testing.T) {
-	g := NewGraph(5)
+	g := MustGraph(5)
 	g.AddTraffic(0, 1, 1, 4096, 4096)
 	g.AddTraffic(2, 3, 1, 64, 64)
 	sweep := g.Sweep(nil)
@@ -123,7 +169,7 @@ func TestSweepMatchesStats(t *testing.T) {
 }
 
 func TestFCNUtilization(t *testing.T) {
-	g := NewGraph(4)
+	g := MustGraph(4)
 	// Complete graph: utilization 1.
 	for i := 0; i < 4; i++ {
 		for j := i + 1; j < 4; j++ {
@@ -133,14 +179,14 @@ func TestFCNUtilization(t *testing.T) {
 	if u := g.FCNUtilization(0); u != 1 {
 		t.Errorf("complete graph utilization %g", u)
 	}
-	single := NewGraph(1)
+	single := MustGraph(1)
 	if u := single.FCNUtilization(0); u != 0 {
 		t.Errorf("P=1 utilization %g", u)
 	}
 }
 
 func TestEdgesAndSubgraph(t *testing.T) {
-	g := NewGraph(4)
+	g := MustGraph(4)
 	g.AddTraffic(0, 1, 2, 10000, 8000)
 	g.AddTraffic(1, 2, 1, 100, 100)
 	edges := g.Edges(2048)
@@ -148,10 +194,10 @@ func TestEdgesAndSubgraph(t *testing.T) {
 		t.Errorf("edges at 2KB: %v", edges)
 	}
 	sub := g.Subgraph(2048)
-	if sub.Msgs[0][1] != 2 || sub.Vol[0][1] != 10000 || sub.MaxMsg[0][1] != 8000 {
+	if sub.Msgs(0, 1) != 2 || sub.Vol(0, 1) != 10000 || sub.MaxMsg(0, 1) != 8000 {
 		t.Errorf("subgraph lost edge data: %+v", sub)
 	}
-	if sub.Msgs[1][2] != 0 {
+	if sub.Msgs(1, 2) != 0 {
 		t.Error("subgraph kept sub-cutoff edge")
 	}
 }
@@ -173,12 +219,15 @@ func TestFromProfileEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := set.Profile("ring", 4, nil)
-	g := FromProfile(prof, nil)
+	g, err := FromProfile(prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := g.Stats(0)
 	if st.Max != 2 || st.Min != 2 || st.Avg != 2 {
 		t.Errorf("ring TDC: %+v", st)
 	}
-	if g.Vol[0][1] != 2*64<<10 { // one 64KB send in each direction
-		t.Errorf("ring volume 0-1: %d", g.Vol[0][1])
+	if g.Vol(0, 1) != 2*64<<10 { // one 64KB send in each direction
+		t.Errorf("ring volume 0-1: %d", g.Vol(0, 1))
 	}
 }

@@ -26,8 +26,9 @@ type Window struct {
 
 // Windows extracts per-step windows from a profile, ordered by region
 // name. Only regions with the given prefix ("step" for the skeletons'
-// steady state) are included.
-func Windows(p *ipm.Profile, prefix string, cutoff int) []Window {
+// steady state) are included. A malformed profile (bad rank count or
+// out-of-range peers) yields an error.
+func Windows(p *ipm.Profile, prefix string, cutoff int) ([]Window, error) {
 	if cutoff == 0 {
 		cutoff = topology.DefaultCutoff
 	}
@@ -44,10 +45,13 @@ func Windows(p *ipm.Profile, prefix string, cutoff int) []Window {
 	sort.Strings(ordered)
 	out := make([]Window, 0, len(ordered))
 	for _, name := range ordered {
-		g := topology.FromProfile(p, ipm.Region(name))
+		g, err := topology.FromProfile(p, ipm.Region(name))
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, Window{Region: name, Graph: g, Stats: g.Stats(cutoff)})
 	}
-	return out
+	return out, nil
 }
 
 // Churn measures how much the thresholded partner-set changes between two
@@ -101,28 +105,32 @@ type Opportunity struct {
 }
 
 // Analyze computes the reconfiguration opportunity over a run's windows.
-func Analyze(p *ipm.Profile, cutoff int) Opportunity {
+func Analyze(p *ipm.Profile, cutoff int) (Opportunity, error) {
 	if cutoff == 0 {
 		cutoff = topology.DefaultCutoff
 	}
-	ws := Windows(p, "step", cutoff)
+	ws, err := Windows(p, "step", cutoff)
+	if err != nil {
+		return Opportunity{}, err
+	}
 	op := Opportunity{Windows: len(ws)}
 	if len(ws) == 0 {
-		return op
+		return op, nil
 	}
-	union := topology.NewGraph(p.Procs)
+	union, err := topology.NewGraph(p.Procs)
+	if err != nil {
+		return Opportunity{}, err
+	}
 	churnSum := 0
 	for i, w := range ws {
 		if w.Stats.Max > op.MaxWindowTDC {
 			op.MaxWindowTDC = w.Stats.Max
 		}
-		for x := 0; x < w.Graph.P; x++ {
-			for y := x + 1; y < w.Graph.P; y++ {
-				if w.Graph.Msgs[x][y] > 0 {
-					union.AddTraffic(x, y, w.Graph.Msgs[x][y], w.Graph.Vol[x][y], w.Graph.MaxMsg[x][y])
-				}
+		w.Graph.ForEachEdge(func(x, y int, e topology.Edge) {
+			if e.Msgs > 0 {
+				union.AddTraffic(x, y, e.Msgs, e.Vol, e.MaxMsg)
 			}
-		}
+		})
 		if i > 0 {
 			churnSum += Churn(ws[i-1].Graph, w.Graph, cutoff)
 		}
@@ -132,5 +140,5 @@ func Analyze(p *ipm.Profile, cutoff int) Opportunity {
 		op.MeanChurn = float64(churnSum) / float64(len(ws)-1)
 	}
 	op.ReconfigurableGain = op.UnionTDC - op.MaxWindowTDC
-	return op
+	return op, nil
 }

@@ -45,7 +45,10 @@ func stepName(s int) string {
 
 func TestWindowsExtraction(t *testing.T) {
 	p := phasedProfile(t)
-	ws := Windows(p, "step", 0)
+	ws, err := Windows(p, "step", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ws) != 4 {
 		t.Fatalf("got %d windows, want 4", len(ws))
 	}
@@ -62,7 +65,10 @@ func TestWindowsExtraction(t *testing.T) {
 
 func TestChurn(t *testing.T) {
 	p := phasedProfile(t)
-	ws := Windows(p, "step", 0)
+	ws, err := Windows(p, "step", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c := Churn(ws[0].Graph, ws[1].Graph, 0); c != 0 {
 		t.Errorf("same-phase churn %d, want 0", c)
 	}
@@ -74,7 +80,10 @@ func TestChurn(t *testing.T) {
 
 func TestAnalyzeOpportunity(t *testing.T) {
 	p := phasedProfile(t)
-	op := Analyze(p, 0)
+	op, err := Analyze(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if op.Windows != 4 {
 		t.Fatalf("windows %d", op.Windows)
 	}
@@ -95,15 +104,18 @@ func TestAnalyzeOpportunity(t *testing.T) {
 
 func TestAnalyzeEmptyProfile(t *testing.T) {
 	p := &ipm.Profile{App: "empty", Procs: 4}
-	op := Analyze(p, 0)
+	op, err := Analyze(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if op.Windows != 0 || op.UnionTDC != 0 {
 		t.Errorf("empty analyze: %+v", op)
 	}
 }
 
 func TestChurnCutoffDefaults(t *testing.T) {
-	a := topology.NewGraph(4)
-	b := topology.NewGraph(4)
+	a := topology.MustGraph(4)
+	b := topology.MustGraph(4)
 	a.AddTraffic(0, 1, 1, 100, 100) // below default cutoff
 	if c := Churn(a, b, 0); c != 0 {
 		t.Errorf("sub-threshold edge churned: %d", c)

@@ -13,6 +13,9 @@
 #   internal/ipm         collector event ingestion
 #   internal/apps        end-to-end skeleton profiling (allocs/op headline)
 #   internal/experiments warm-up fan-out (serial vs parallel)
+#   internal/topology    sparse vs dense graph build + cutoff sweep at
+#                        P=256 and P=1024 (b_per_op is the headline: the
+#                        sparse path must stay ≥10x under dense at P=1024)
 #
 # The JSON is a flat list of {package, name, iters, ns_per_op, b_per_op,
 # allocs_per_op} records plus a small env header, so successive runs can
@@ -43,6 +46,7 @@ run ./internal/mpi 'BenchmarkPingPong|BenchmarkIsendWait|BenchmarkHaloExchange|B
 run ./internal/ipm 'BenchmarkCollectorEvent'
 run ./internal/apps 'BenchmarkProfileRun'
 run ./internal/experiments 'BenchmarkWarmAll'
+run ./internal/topology 'BenchmarkGraphBuild|BenchmarkSweep'
 
 awk -v go_ver="$(go env GOVERSION)" -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" '
 BEGIN {
