@@ -40,6 +40,24 @@ func BenchmarkWarmAll(b *testing.B) {
 	}
 }
 
+// BenchmarkModelStudy measures the full §5 fabric comparison — six apps
+// × three fabric simulations at P=64 — on a pre-warmed runner, so the
+// number tracks the netsim engine plus the parallel fabric sharding
+// rather than skeleton profiling.
+func BenchmarkModelStudy(b *testing.B) {
+	r := NewRunner(2)
+	if _, err := NetsimRows(r, 64); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NetsimRows(r, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWarmAllCached measures the all-hits path: every spec already
 // resident, so an iteration is pure cache lookups and pool scheduling.
 func BenchmarkWarmAllCached(b *testing.B) {

@@ -12,6 +12,7 @@ import (
 	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/meshtorus"
 	"github.com/hfast-sim/hfast/internal/netsim"
+	"github.com/hfast-sim/hfast/internal/par"
 	"github.com/hfast-sim/hfast/internal/report"
 	"github.com/hfast-sim/hfast/internal/topology"
 	"github.com/hfast-sim/hfast/internal/trace"
@@ -254,6 +255,26 @@ type NetsimRow struct {
 // NetsimRows replays each application's steady-state traffic (one flow
 // per directed pair per step-average) on HFAST, FCN, and mesh models.
 func NetsimRows(r *Runner, procs int) ([]NetsimRow, error) {
+	return NetsimRowsFor(r, apps.Names(), procs)
+}
+
+// netsimJob is one fabric simulation of one app's traffic; jobs write
+// disjoint fields of their row, so the set shards over the worker pool
+// without locking.
+type netsimJob struct {
+	app    string
+	fabric string
+	run    func() error
+}
+
+// NetsimRowsFor replays the named applications' steady-state traffic on
+// the three fabric models. Per-app preparation (profile, graph, flows,
+// circuit assignment) runs serially — profiles come from the runner's
+// warm cache — and the fabric simulations, three independent jobs per
+// app, shard over the internal/par worker pool. Routers are read-only
+// during simulation and every job owns distinct row fields, so the
+// parallel run is deterministic and race-free.
+func NetsimRowsFor(r *Runner, appNames []string, procs int) ([]NetsimRow, error) {
 	lp := netsim.DefaultLinkParams()
 	tree, err := fattree.Design(procs, hfast.DefaultBlockSize)
 	if err != nil {
@@ -263,8 +284,9 @@ func NetsimRows(r *Runner, procs int) ([]NetsimRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []NetsimRow
-	for _, app := range apps.Names() {
+	rows := make([]NetsimRow, len(appNames))
+	var jobs []netsimJob
+	for ai, app := range appNames {
 		p, err := r.Profile(app, procs)
 		if err != nil {
 			return nil, err
@@ -292,49 +314,70 @@ func NetsimRows(r *Runner, procs int) ([]NetsimRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := NetsimRow{App: app, Procs: procs, Flows: len(flows)}
+		row := &rows[ai]
+		row.App, row.Procs, row.Flows = app, procs, len(flows)
 
-		hn := netsim.NewHFASTNet(a, lp)
-		hres, err := netsim.Simulate(hn.Network(), hn, flows)
-		if err != nil {
-			return nil, err
-		}
-		row.HFAST = hres.Makespan
-		row.Collective = hres.Unroutable
-		if hres.Unroutable > 0 {
-			// Sub-threshold traffic rides the dedicated low-bandwidth
-			// tree (§2.4); simulate those flows there.
-			var small []netsim.Flow
-			for fi, fr := range hres.Flows {
-				if !fr.Routed {
-					small = append(small, flows[fi])
+		jobs = append(jobs,
+			netsimJob{app: app, fabric: "hfast", run: func() error {
+				hn := netsim.NewHFASTNet(a, lp)
+				hres, err := netsim.Simulate(hn.Network(), hn, flows)
+				if err != nil {
+					return err
 				}
-			}
-			tn, err := netsim.NewTreeNet(procs, treenet.DefaultParams())
-			if err != nil {
-				return nil, err
-			}
-			tres, err := netsim.Simulate(tn.Network(), tn, small)
-			if err != nil {
-				return nil, err
-			}
-			row.TreeTime = tres.Makespan
+				row.HFAST = hres.Makespan
+				row.Collective = hres.Unroutable
+				if hres.Unroutable > 0 {
+					// Sub-threshold traffic rides the dedicated
+					// low-bandwidth tree (§2.4); simulate those flows there.
+					var small []netsim.Flow
+					for fi, fr := range hres.Flows {
+						if !fr.Routed {
+							small = append(small, flows[fi])
+						}
+					}
+					tn, err := netsim.NewTreeNet(procs, treenet.DefaultParams())
+					if err != nil {
+						return err
+					}
+					tres, err := netsim.Simulate(tn.Network(), tn, small)
+					if err != nil {
+						return err
+					}
+					row.TreeTime = tres.Makespan
+				}
+				return nil
+			}},
+			netsimJob{app: app, fabric: "fcn", run: func() error {
+				fn := netsim.NewFCNNet(procs, tree, lp)
+				fres, err := netsim.Simulate(fn.Network(), fn, flows)
+				if err != nil {
+					return err
+				}
+				row.FCN = fres.Makespan
+				return nil
+			}},
+			netsimJob{app: app, fabric: "mesh", run: func() error {
+				mn := netsim.NewMeshNet(mesh, lp)
+				mres, err := netsim.Simulate(mn.Network(), mn, flows)
+				if err != nil {
+					return err
+				}
+				row.Mesh = mres.Makespan
+				return nil
+			}},
+		)
+	}
+	errs := make([]error, len(jobs))
+	par.Ranges(len(jobs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = jobs[i].run()
 		}
-
-		fn := netsim.NewFCNNet(procs, tree, lp)
-		fres, err := netsim.Simulate(fn.Network(), fn, flows)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("experiments: %s on %s at P=%d: %w",
+				jobs[i].app, jobs[i].fabric, procs, err)
 		}
-		row.FCN = fres.Makespan
-
-		mn := netsim.NewMeshNet(mesh, lp)
-		mres, err := netsim.Simulate(mn.Network(), mn, flows)
-		if err != nil {
-			return nil, err
-		}
-		row.Mesh = mres.Makespan
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -46,6 +46,29 @@ func TestUltraRowsAtP1024(t *testing.T) {
 	}
 }
 
+func TestUltraFabricRowsAtP1024(t *testing.T) {
+	if os.Getenv("HFAST_TEST_QUICK") != "" {
+		t.Skip("HFAST_TEST_QUICK set")
+	}
+	r := testRunner()
+	appNames := UltraFabricApps()
+	rows, err := NetsimRowsFor(r, appNames, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(appNames) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(appNames))
+	}
+	for _, row := range rows {
+		if row.Procs != 1024 || row.Flows <= 0 {
+			t.Errorf("%s: bad row shape %+v", row.App, row)
+		}
+		if row.HFAST <= 0 || row.FCN <= 0 || row.Mesh <= 0 {
+			t.Errorf("%s: non-positive makespan %+v", row.App, row)
+		}
+	}
+}
+
 func TestUltraRenders(t *testing.T) {
 	if os.Getenv("HFAST_TEST_QUICK") != "" {
 		t.Skip("HFAST_TEST_QUICK set")

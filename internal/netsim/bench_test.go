@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/fattree"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// haloTraffic builds a 3-D nearest-neighbor exchange (the cactus/LBMHD
+// ghost-zone pattern, §4 of the paper) on a near-cube lattice: every rank
+// sends one flow to each of its ≤6 lattice neighbors. Sizes carry a
+// deterministic per-pair jitter so completions spread into thousands of
+// distinct events instead of one synchronized wave — the event-heavy
+// regime the incremental engine is built for.
+func haloTraffic(tb testing.TB, procs int) (*topology.Graph, []Flow) {
+	tb.Helper()
+	m, err := meshtorus.New(meshtorus.NearCube(procs, 3), true)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := topology.MustGraph(procs)
+	var flows []Flow
+	for r := 0; r < procs; r++ {
+		for _, nb := range m.Neighbors(r) {
+			bytes := int64(64<<10 + ((r*131 + nb*17) % 977 * 64))
+			g.AddTraffic(r, nb, 1, bytes, int(bytes))
+			flows = append(flows, Flow{Src: r, Dst: nb, Bytes: bytes})
+		}
+	}
+	return g, flows
+}
+
+// benchFabrics builds the three contended fabric models for the halo
+// pattern. The tree model is excluded: its 350 MB/s links make the halo
+// run minutes of simulated time without changing the engine comparison.
+func benchFabrics(tb testing.TB, g *topology.Graph, procs int) map[string]Router {
+	tb.Helper()
+	lp := DefaultLinkParams()
+	a, err := hfast.Assign(g, 0, hfast.DefaultBlockSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tree, err := fattree.Design(procs, hfast.DefaultBlockSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mesh, err := meshtorus.New(meshtorus.NearCube(procs, 3), true)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]Router{
+		"hfast":   NewHFASTNet(a, lp),
+		"fattree": NewFCNNet(procs, tree, lp),
+		"mesh":    NewMeshNet(mesh, lp),
+	}
+}
+
+func benchSimulate(b *testing.B, sim func(*Network, Router, []Flow) (Result, error)) {
+	for _, procs := range []int{256, 1024} {
+		g, flows := haloTraffic(b, procs)
+		routers := benchFabrics(b, g, procs)
+		for _, name := range []string{"hfast", "fattree", "mesh"} {
+			router := routers[name]
+			net := fabricNetwork(router)
+			b.Run(fmt.Sprintf("%s/P%d", name, procs), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim(net, router, flows); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimulate measures the incremental event-driven engine on halo
+// traffic at the model-study (P=256) and ultra (P=1024) scales.
+func BenchmarkSimulate(b *testing.B) {
+	benchSimulate(b, Simulate)
+}
+
+// BenchmarkSimulateReference measures the retired whole-network
+// water-filling solver on the same traffic, for old-vs-new deltas
+// (BENCH_PR4.json).
+func BenchmarkSimulateReference(b *testing.B) {
+	benchSimulate(b, simulateReference)
+}

@@ -1,0 +1,703 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// completionEpsilon is the sub-byte residue treated as "finished".
+// Rounding noise from draining to a completion time quantized to the
+// float ulp of the clock can leave r·ulp ≫ 1e-9 bytes behind at GB/s
+// rates, so anything under a thousandth of a byte counts as done. Both
+// engines share the constant so their retirement behavior matches.
+const completionEpsilon = 1e-3
+
+// superFlow is one simulated unit: weight identical application flows
+// (same src, dst, start time, size — and therefore the same path)
+// coalesced so the event loop and the water-filling solver see one flow
+// where the input had many. Every constituent receives the same max-min
+// share, so they finish together and the super-flow's result fans back
+// out to each original flow index.
+type superFlow struct {
+	start   float64
+	bytes   float64 // per-constituent size
+	weight  int     // coalesced input flows
+	path    []int
+	linkPos []int32 // position of this flow's entry in engine.linkFlows[path[k]]
+	latency float64
+	orig    []int32 // original flow indices
+
+	remaining float64 // per-constituent bytes left, valid at lastT
+	rate      float64 // current per-constituent max-min share
+	lastT     float64 // time remaining was last settled
+	seq       int32   // generation of the flow's live heap entry
+	active    bool
+	done      bool
+	finish    float64
+}
+
+// heapEntry is a projected completion. Entries are invalidated lazily:
+// when a flow's rate changes, its seq advances and a fresh entry is
+// pushed; stale entries are discarded when popped. Ordering is
+// (time, flow index), so simultaneous completions resolve in flow order
+// and repeated runs are byte-identical.
+type heapEntry struct {
+	t    float64
+	flow int32
+	seq  int32
+}
+
+func heapLess(a, b heapEntry) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.flow < b.flow
+}
+
+// linkRef is one active flow's membership in a link's index set; slot is
+// the index of the link within the flow's path, so removals can fix up
+// the moved entry's back-pointer in O(1).
+type linkRef struct{ flow, slot int32 }
+
+// engine is the incremental event-driven simulator state. All scratch
+// slices are preallocated at construction and reused across events — the
+// hot loop allocates only when the completion heap or a link's index set
+// outgrows its previous high-water mark.
+//
+// Between events the engine maintains, per link, the consumed bandwidth
+// (linkS), the residual slack (linkResid) and the largest per-share flow
+// rate (linkMaxRate) of the committed allocation. These are what make
+// recompute local: an event re-solves only the flows on the links it
+// touched, and the stored slack/max-rate of every other link certifies —
+// via the max-min bottleneck property — that untouched flows keep their
+// rates.
+type engine struct {
+	net  *Network
+	sims []superFlow
+
+	linkFlows  [][]linkRef // active flows per link
+	linkWeight []int       // total active weight per link
+	heap       []heapEntry
+
+	now         float64
+	activeCount int
+	events      int
+
+	// Committed-allocation state per link.
+	linkS       []float64 // consumed bandwidth: Σ weight·rate over active flows
+	linkResid   []float64 // unconsumed bandwidth
+	linkMaxRate []float64 // largest per-share rate among active flows
+
+	// Recompute scratch, epoch-stamped so it never needs clearing.
+	epoch     int32
+	linkMark  []int32 // link is in the solve set T this epoch
+	linkPull  []int32 // link's flows have been pulled into A this epoch
+	flowMark  []int32 // flow is in the affected set A this epoch
+	queue     []int32 // solve-set link list (T)
+	compFlows []int32 // affected flow list (A)
+	seeds     []int32
+	moved     []int32 // solve-set links whose slack or top rate changed
+
+	// Water-filling scratch.
+	linkCap   []float64
+	linkW     []int
+	fixedMark []int32 // flow fixed during this epoch's solve
+	newRate   []float64
+	oldRate   []float64 // rate at the moment the flow joined A
+	chkMark   []int32   // flow witness-checked this pass
+	chkEpoch  int32
+}
+
+// Simulate runs the progressive-filling model: at every arrival or
+// completion event, active flows get max-min fair shares of their path
+// bandwidth. The engine is incremental — see the package comment — and
+// its results match simulateReference's whole-network recomputation to
+// float-rounding noise.
+func Simulate(net *Network, router Router, flows []Flow) (Result, error) {
+	res := Result{Flows: make([]FlowResult, len(flows))}
+	linkBytes := make([]float64, net.Links())
+
+	// Coalesce identical flows into weighted super-flows. The key
+	// includes the size: flows differing only in bytes share a path but
+	// finish at different times, so they stay separate.
+	type groupKey struct {
+		src, dst int
+		start    float64
+		bytes    int64
+	}
+	groups := make(map[groupKey]int32, len(flows))
+	sims := make([]superFlow, 0, len(flows))
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			return Result{}, fmt.Errorf("netsim: flow %d has negative size", i)
+		}
+		path, lat, ok := router.Route(f.Src, f.Dst)
+		if !ok {
+			res.Flows[i] = FlowResult{Finish: -1}
+			res.Unroutable++
+			continue
+		}
+		for _, l := range path {
+			if l < 0 || l >= net.Links() {
+				return Result{}, fmt.Errorf("netsim: flow %d routed over unknown link %d", i, l)
+			}
+			linkBytes[l] += float64(f.Bytes)
+		}
+		k := groupKey{f.Src, f.Dst, f.Start, f.Bytes}
+		if gi, ok := groups[k]; ok {
+			sf := &sims[gi]
+			sf.weight++
+			sf.orig = append(sf.orig, int32(i))
+			continue
+		}
+		groups[k] = int32(len(sims))
+		sims = append(sims, superFlow{
+			start: f.Start, bytes: float64(f.Bytes), weight: 1,
+			path: path, latency: lat,
+			orig:      []int32{int32(i)},
+			remaining: float64(f.Bytes),
+			finish:    -1,
+		})
+	}
+
+	e := newEngine(net, sims)
+	if err := e.run(); err != nil {
+		return Result{}, err
+	}
+
+	for gi := range sims {
+		sf := &sims[gi]
+		for _, oi := range sf.orig {
+			res.Flows[oi] = FlowResult{Finish: sf.finish, Routed: sf.finish >= 0}
+		}
+		if sf.finish > res.Makespan {
+			res.Makespan = sf.finish
+		}
+	}
+	for _, b := range linkBytes {
+		if b > res.MaxLinkBytes {
+			res.MaxLinkBytes = b
+		}
+	}
+	return res, nil
+}
+
+func newEngine(net *Network, sims []superFlow) *engine {
+	nLinks := net.Links()
+	e := &engine{
+		net:         net,
+		sims:        sims,
+		linkFlows:   make([][]linkRef, nLinks),
+		linkWeight:  make([]int, nLinks),
+		linkS:       make([]float64, nLinks),
+		linkResid:   make([]float64, nLinks),
+		linkMaxRate: make([]float64, nLinks),
+		linkMark:    make([]int32, nLinks),
+		linkPull:    make([]int32, nLinks),
+		flowMark:    make([]int32, len(sims)),
+		linkCap:     make([]float64, nLinks),
+		linkW:       make([]int, nLinks),
+		fixedMark:   make([]int32, len(sims)),
+		newRate:     make([]float64, len(sims)),
+		oldRate:     make([]float64, len(sims)),
+		chkMark:     make([]int32, len(sims)),
+	}
+	for l := 0; l < nLinks; l++ {
+		e.linkResid[l] = net.links[l].Bandwidth
+	}
+	// One slab backs every flow's link-position list.
+	total := 0
+	for i := range sims {
+		total += len(sims[i].path)
+	}
+	slab := make([]int32, total)
+	off := 0
+	for i := range sims {
+		n := len(sims[i].path)
+		sims[i].linkPos = slab[off : off+n : off+n]
+		off += n
+	}
+	return e
+}
+
+// maxEventCap bounds the event loop. Every super-flow contributes one
+// arrival and one completion event; float rounding can split a
+// simultaneous completion batch into a few ulp-separated events, so the
+// cap is proportional at 3 events per coalesced flow plus slack for tiny
+// inputs. (The seed's 16·flows+4096 constant overshot by orders of
+// magnitude at scale and still undershot pathological tie storms on tiny
+// inputs, since it scaled with raw rather than coalesced flow count.)
+func maxEventCap(superFlows int) int { return 3*superFlows + 64 }
+
+func (e *engine) run() error {
+	// Arrival order: (start, flow index), matching the reference's
+	// stable sort. Zero-byte flows finish at start+latency without ever
+	// becoming active.
+	order := make([]int32, 0, len(e.sims))
+	for i := range e.sims {
+		sf := &e.sims[i]
+		if sf.bytes == 0 {
+			sf.done = true
+			sf.finish = sf.start + sf.latency
+			continue
+		}
+		order = append(order, int32(i))
+	}
+	sort.SliceStable(order, func(a, b int) bool { return e.sims[order[a]].start < e.sims[order[b]].start })
+
+	maxEvents := maxEventCap(len(e.sims))
+	nextArrival := 0
+	for {
+		// Discard stale heap entries, then pick the next event: the
+		// earliest pending arrival or projected completion.
+		for len(e.heap) > 0 {
+			top := e.heap[0]
+			if sf := &e.sims[top.flow]; sf.seq == top.seq && !sf.done {
+				break
+			}
+			e.heapPop()
+		}
+		tNext := math.Inf(1)
+		if nextArrival < len(order) {
+			tNext = e.sims[order[nextArrival]].start
+		}
+		if len(e.heap) > 0 && e.heap[0].t < tNext {
+			tNext = e.heap[0].t
+		}
+		if math.IsInf(tNext, 1) {
+			if e.activeCount > 0 {
+				return fmt.Errorf("netsim: %d flows stalled with zero rate after %d events (t=%.6g)",
+					e.activeCount, e.events, e.now)
+			}
+			return nil
+		}
+		e.events++
+		if e.events > maxEvents {
+			return fmt.Errorf("netsim: no progress after %d events (cap %d for %d coalesced flows, t=%.6g, %d active)",
+				e.events, maxEvents, len(e.sims), e.now, e.activeCount)
+		}
+		e.now = tNext
+
+		// Retire every flow whose live projection lands on this event
+		// time — the whole simultaneous batch, in flow-index order.
+		e.seeds = e.seeds[:0]
+		for len(e.heap) > 0 {
+			top := e.heap[0]
+			sf := &e.sims[top.flow]
+			if sf.seq != top.seq || sf.done {
+				e.heapPop()
+				continue
+			}
+			if top.t > e.now {
+				break
+			}
+			e.heapPop()
+			e.retire(top.flow, true)
+		}
+		// Admit arrivals due now.
+		for nextArrival < len(order) && e.sims[order[nextArrival]].start <= e.now+1e-15 {
+			e.admit(order[nextArrival])
+			nextArrival++
+		}
+		if len(e.seeds) > 0 {
+			e.recompute()
+		}
+	}
+}
+
+// retire finalizes a flow at the current time: any sub-epsilon residue
+// is rounding noise from the projection, so remaining is forced to zero.
+// The flow leaves every per-link index set immediately — it can never be
+// drained or counted again — and its links seed the next recompute.
+func (e *engine) retire(fi int32, seed bool) {
+	sf := &e.sims[fi]
+	sf.remaining = 0
+	sf.done = true
+	sf.active = false
+	sf.finish = e.now + sf.latency
+	sf.seq++
+	e.activeCount--
+	for k, l := range sf.path {
+		lst := e.linkFlows[l]
+		p := sf.linkPos[k]
+		last := int32(len(lst) - 1)
+		moved := lst[last]
+		lst[p] = moved
+		e.linkFlows[l] = lst[:last]
+		if moved.flow != fi || moved.slot != int32(k) {
+			e.sims[moved.flow].linkPos[moved.slot] = p
+		}
+		e.linkWeight[l] -= sf.weight
+		e.linkS[l] -= float64(sf.weight) * sf.rate
+		if seed {
+			e.seeds = append(e.seeds, int32(l))
+		}
+	}
+	sf.rate = 0
+}
+
+// admit activates an arriving flow and seeds its links.
+func (e *engine) admit(fi int32) {
+	sf := &e.sims[fi]
+	sf.active = true
+	sf.rate = 0
+	sf.lastT = e.now
+	e.activeCount++
+	for k, l := range sf.path {
+		sf.linkPos[k] = int32(len(e.linkFlows[l]))
+		e.linkFlows[l] = append(e.linkFlows[l], linkRef{flow: fi, slot: int32(k)})
+		e.linkWeight[l] += sf.weight
+		e.seeds = append(e.seeds, int32(l))
+	}
+}
+
+// satSlack is the residual under which a link counts as saturated, and
+// rateBand the relative band within which two rates count equal, for the
+// bottleneck-witness check. Both are far above float noise and far below
+// any real rate difference the traffic models produce.
+const (
+	satSlack = 1e-9
+	rateBand = 1e-9
+)
+
+// saturated reports whether link l has no meaningful slack left.
+func (e *engine) saturated(l int32) bool {
+	return e.linkResid[l] <= satSlack*e.net.links[l].Bandwidth
+}
+
+// pullLink adds l to the solve set and pulls every flow on it into the
+// affected set A. Flows are only marked here; settleNew drains them to
+// the current time afterwards (settling can retire flows, which mutates
+// the very index sets being iterated, so the two steps stay separate).
+func (e *engine) pullLink(l int32) {
+	ep := e.epoch
+	if e.linkPull[l] == ep {
+		return
+	}
+	e.linkPull[l] = ep
+	if e.linkMark[l] != ep {
+		e.linkMark[l] = ep
+		e.queue = append(e.queue, l)
+	}
+	for _, ref := range e.linkFlows[l] {
+		if e.flowMark[ref.flow] != ep {
+			e.flowMark[ref.flow] = ep
+			e.compFlows = append(e.compFlows, ref.flow)
+		}
+	}
+}
+
+// settleNew drains every not-yet-settled flow in A to the current time,
+// retiring those whose residue fell under the completion epsilon
+// (retirement seeds the freed links) and adding survivors' path links to
+// the solve set. Returns the new settled watermark.
+func (e *engine) settleNew(settled int) int {
+	ep := e.epoch
+	for ; settled < len(e.compFlows); settled++ {
+		fi := e.compFlows[settled]
+		sf := &e.sims[fi]
+		if sf.done {
+			continue
+		}
+		if sf.rate > 0 && e.now > sf.lastT {
+			sf.remaining -= sf.rate * (e.now - sf.lastT)
+		}
+		sf.lastT = e.now
+		e.oldRate[fi] = sf.rate
+		if sf.remaining < completionEpsilon {
+			e.retire(fi, true)
+			continue
+		}
+		for _, l := range sf.path {
+			if e.linkMark[l] != ep {
+				e.linkMark[l] = ep
+				e.queue = append(e.queue, int32(l))
+			}
+		}
+	}
+	return settled
+}
+
+// solveAffected water-fills the affected flows over the solve-set links,
+// treating every frozen flow as fixed background consumption: a link's
+// residual capacity for the solve is its bandwidth minus the committed
+// consumption of flows outside A. The fix step is link-driven — every
+// affected flow crossing a within-epsilon bottleneck link is fixed at
+// the bottleneck share by walking those links' index sets — so a solve
+// costs O(|A|·pathlen + |T|·rounds), independent of network size.
+func (e *engine) solveAffected() {
+	ep := e.epoch
+	for _, l := range e.queue {
+		e.linkCap[l] = e.net.links[l].Bandwidth - e.linkS[l]
+		e.linkW[l] = 0
+	}
+	live := 0
+	for _, fi := range e.compFlows {
+		sf := &e.sims[fi]
+		if sf.done {
+			continue
+		}
+		live++
+		e.fixedMark[fi] = 0
+		w := float64(sf.weight)
+		for _, l := range sf.path {
+			e.linkCap[l] += w * sf.rate
+			e.linkW[l] += sf.weight
+		}
+	}
+	for _, l := range e.queue {
+		if e.linkCap[l] < 0 {
+			e.linkCap[l] = 0
+		}
+	}
+	for live > 0 {
+		bottle := math.Inf(1)
+		for _, l := range e.queue {
+			if e.linkW[l] > 0 {
+				if s := e.linkCap[l] / float64(e.linkW[l]); s < bottle {
+					bottle = s
+				}
+			}
+		}
+		if math.IsInf(bottle, 1) {
+			// Numerical corner: no capacity left anywhere; flows not yet
+			// fixed stall at zero rate (matching the reference, whose
+			// unfixed flows get no rate entry).
+			for _, fi := range e.compFlows {
+				if !e.sims[fi].done && e.fixedMark[fi] != ep {
+					e.newRate[fi] = 0
+				}
+			}
+			return
+		}
+		progressed := false
+		for _, l := range e.queue {
+			if e.linkW[l] <= 0 || e.linkCap[l]/float64(e.linkW[l]) > bottle*(1+1e-12) {
+				continue
+			}
+			for _, ref := range e.linkFlows[l] {
+				fi := ref.flow
+				if e.flowMark[fi] != ep || e.fixedMark[fi] == ep || e.sims[fi].done {
+					continue
+				}
+				e.fixedMark[fi] = ep
+				e.newRate[fi] = bottle
+				live--
+				progressed = true
+				sf := &e.sims[fi]
+				w := float64(sf.weight)
+				for _, l2 := range sf.path {
+					e.linkCap[l2] -= w * bottle
+					if e.linkCap[l2] < 0 {
+						e.linkCap[l2] = 0
+					}
+					e.linkW[l2] -= sf.weight
+				}
+			}
+		}
+		if !progressed {
+			// Unreachable in theory (the bottleneck link always has an
+			// unfixed flow); guard against float corners by fixing the
+			// stragglers at the bottleneck share, as the reference does.
+			for _, fi := range e.compFlows {
+				if !e.sims[fi].done && e.fixedMark[fi] != ep {
+					e.newRate[fi] = bottle
+				}
+			}
+			return
+		}
+	}
+}
+
+// recompute re-solves max-min rates after an event, touching only the
+// flows the event can affect. The affected set A starts as the flows on
+// the seeded (freed or newly loaded) links; after water-filling A
+// against the frozen background, every flow on a link whose slack or
+// top rate moved is checked for the max-min bottleneck property — a
+// saturated path link on which the flow's rate is maximal. A flow
+// without such a witness is not max-min optimal, so the saturated links
+// blocking it are pulled into A and the solve repeats. Untouched links
+// certify their flows' rates by their stored slack/max-rate, which is
+// what lets the engine skip them entirely.
+func (e *engine) recompute() {
+	e.epoch++
+	ep := e.epoch
+	e.queue = e.queue[:0]
+	e.compFlows = e.compFlows[:0]
+
+	settled := 0
+	for si := 0; si < len(e.seeds); si++ {
+		e.pullLink(e.seeds[si])
+		// Settling can retire flows, which appends to e.seeds.
+		settled = e.settleNew(settled)
+	}
+
+	for pass := 0; ; pass++ {
+		e.solveAffected()
+
+		// Commit candidate rates and refresh consumed/slack/max-rate on
+		// every solve-set link, remembering which links actually moved.
+		for _, fi := range e.compFlows {
+			sf := &e.sims[fi]
+			if !sf.done {
+				sf.rate = e.newRate[fi]
+			}
+		}
+		// Refresh every solve-set link first — witness checks must never
+		// read a stale slack/max-rate for a link whose refresh is still
+		// pending in the same pass — then scan the links that moved.
+		expanded := false
+		e.chkEpoch++
+		e.moved = e.moved[:0]
+		for _, l := range e.queue {
+			s, maxR := 0.0, 0.0
+			for _, ref := range e.linkFlows[l] {
+				r := e.sims[ref.flow].rate
+				s += float64(e.sims[ref.flow].weight) * r
+				if r > maxR {
+					maxR = r
+				}
+			}
+			resid := e.net.links[l].Bandwidth - s
+			if resid < 0 {
+				resid = 0
+			}
+			if resid != e.linkResid[l] || maxR != e.linkMaxRate[l] {
+				e.moved = append(e.moved, l)
+			}
+			e.linkS[l], e.linkResid[l], e.linkMaxRate[l] = s, resid, maxR
+		}
+		for _, l := range e.moved {
+			// Witness-check every flow on a moved link (frozen flows
+			// included: their certificate may have lived here).
+			for _, ref := range e.linkFlows[l] {
+				fi := ref.flow
+				if e.chkMark[fi] == e.chkEpoch {
+					continue
+				}
+				e.chkMark[fi] = e.chkEpoch
+				sf := &e.sims[fi]
+				if sf.done || sf.rate <= 0 {
+					continue
+				}
+				witness := false
+				for _, l2 := range sf.path {
+					if e.saturated(int32(l2)) && e.linkMaxRate[l2] <= sf.rate*(1+rateBand) {
+						witness = true
+						break
+					}
+				}
+				if witness {
+					continue
+				}
+				// No bottleneck witness: the flow deserves more, and the
+				// higher-rate flows on its saturated links are what block
+				// it — pull those links' flows into A and re-solve.
+				for _, l2 := range sf.path {
+					if e.saturated(int32(l2)) {
+						e.pullLink(int32(l2))
+					}
+				}
+				if e.flowMark[fi] != ep {
+					e.flowMark[fi] = ep
+					e.compFlows = append(e.compFlows, fi)
+				}
+				expanded = true
+			}
+		}
+		if !expanded {
+			break
+		}
+		settled = e.settleNew(settled)
+		for si := 0; si < len(e.seeds); si++ {
+			e.pullLink(e.seeds[si])
+			settled = e.settleNew(settled)
+		}
+		if pass > 64 {
+			// Pathological float corner: fall back to re-solving every
+			// active flow, which is always a valid affected set.
+			for l := int32(0); l < int32(len(e.linkFlows)); l++ {
+				if len(e.linkFlows[l]) > 0 {
+					e.pullLink(l)
+				}
+			}
+			settled = e.settleNew(settled)
+			e.solveAffected()
+			for _, fi := range e.compFlows {
+				sf := &e.sims[fi]
+				if !sf.done {
+					sf.rate = e.newRate[fi]
+				}
+			}
+			for _, l := range e.queue {
+				s, maxR := 0.0, 0.0
+				for _, ref := range e.linkFlows[l] {
+					r := e.sims[ref.flow].rate
+					s += float64(e.sims[ref.flow].weight) * r
+					if r > maxR {
+						maxR = r
+					}
+				}
+				resid := e.net.links[l].Bandwidth - s
+				if resid < 0 {
+					resid = 0
+				}
+				e.linkS[l], e.linkResid[l], e.linkMaxRate[l] = s, resid, maxR
+			}
+			break
+		}
+	}
+
+	// Re-project only the flows whose rate actually changed; everyone
+	// else's heap entry is still the correct completion time.
+	for _, fi := range e.compFlows {
+		sf := &e.sims[fi]
+		if sf.done || sf.rate == e.oldRate[fi] {
+			continue
+		}
+		sf.seq++
+		if sf.rate > 0 {
+			e.heapPush(heapEntry{t: e.now + sf.remaining/sf.rate, flow: fi, seq: sf.seq})
+		}
+	}
+}
+
+func (e *engine) heapPush(h heapEntry) {
+	e.heap = append(e.heap, h)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *engine) heapPop() heapEntry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && heapLess(h[l], h[s]) {
+			s = l
+		}
+		if r < n && heapLess(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top
+}

@@ -103,6 +103,115 @@ func TestSimulateZeroByteFlow(t *testing.T) {
 	}
 }
 
+// TestSimulateDeterministicTieBreak covers the satellite fix for the
+// map-order completion scan: two equal-size flows sharing one link at
+// equal rates finish at exactly the same instant, and repeated runs must
+// be byte-identical. The flows use distinct destinations so coalescing
+// cannot merge them — the tie must be broken by flow index, not map
+// iteration order.
+func TestSimulateDeterministicTieBreak(t *testing.T) {
+	n, r := lineNet()
+	flows := []Flow{
+		{Src: 0, Dst: 1, Bytes: 100},
+		{Src: 0, Dst: 2, Bytes: 100},
+	}
+	type engine struct {
+		name string
+		run  func() (Result, error)
+	}
+	for _, e := range []engine{
+		{"engine", func() (Result, error) { return Simulate(n, r, flows) }},
+		{"reference", func() (Result, error) { return simulateReference(n, r, flows) }},
+	} {
+		first, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		for run := 1; run < 8; run++ {
+			res, err := e.run()
+			if err != nil {
+				t.Fatalf("%s run %d: %v", e.name, run, err)
+			}
+			if res.Makespan != first.Makespan || res.MaxLinkBytes != first.MaxLinkBytes {
+				t.Fatalf("%s run %d: aggregate drift: %+v vs %+v", e.name, run, res, first)
+			}
+			for i := range res.Flows {
+				if res.Flows[i] != first.Flows[i] {
+					t.Fatalf("%s run %d: flow %d %+v vs %+v",
+						e.name, run, i, res.Flows[i], first.Flows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateSimultaneousCompletions covers the retirement bookkeeping
+// satellite: when several flows hit zero at the same event, every one of
+// them must retire there (no lingering rate entries, no further drains)
+// and the freed bandwidth must be visible to the survivor immediately.
+func TestSimulateSimultaneousCompletions(t *testing.T) {
+	n, r := lineNet()
+	flows := []Flow{
+		{Src: 0, Dst: 1, Bytes: 100},
+		{Src: 0, Dst: 2, Bytes: 100},
+		{Src: 0, Dst: 3, Bytes: 300},
+	}
+	// Three-way share of 100 B/s: flows 0 and 1 finish their 100 B at
+	// t=3 simultaneously; flow 2 then owns the link with 200 B left and
+	// finishes at t=5. Latency 0.5 s on every path.
+	for _, e := range []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"engine", func() (Result, error) { return Simulate(n, r, flows) }},
+		{"reference", func() (Result, error) { return simulateReference(n, r, flows) }},
+	} {
+		res, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		want := []float64{3.5, 3.5, 5.5}
+		for i, w := range want {
+			if !near(res.Flows[i].Finish, w, 1e-9) {
+				t.Errorf("%s: flow %d finish %.9f, want %.9f", e.name, i, res.Flows[i].Finish, w)
+			}
+		}
+		if !near(res.Makespan, 5.5, 1e-9) {
+			t.Errorf("%s: makespan %.9f, want 5.5", e.name, res.Makespan)
+		}
+	}
+}
+
+// TestSimulateCoalescedIdenticalFlows checks that identical flows merge
+// into one weighted super-flow (taking four shares of the link) and that
+// the result fans back out to every original flow index.
+func TestSimulateCoalescedIdenticalFlows(t *testing.T) {
+	n, r := lineNet()
+	var flows []Flow
+	for i := 0; i < 4; i++ {
+		flows = append(flows, Flow{Src: 0, Dst: 1, Bytes: 100})
+	}
+	res, err := Simulate(n, r, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four equal flows at 25 B/s each: transfer done at t=4, +0.5 latency.
+	for i, f := range res.Flows {
+		if !f.Routed || !near(f.Finish, 4.5, 1e-9) {
+			t.Errorf("flow %d finish %.9f, want 4.5", i, f.Finish)
+		}
+	}
+	ref, err := simulateReference(n, r, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Flows {
+		if !near(res.Flows[i].Finish, ref.Flows[i].Finish, 1e-9) {
+			t.Errorf("flow %d: engine %.9f vs reference %.9f", i, res.Flows[i].Finish, ref.Flows[i].Finish)
+		}
+	}
+}
+
 func TestSimulateUnroutable(t *testing.T) {
 	n := NewNetwork()
 	n.AddLink("x", 1)

@@ -16,6 +16,11 @@
 #   internal/topology    sparse vs dense graph build + cutoff sweep at
 #                        P=256 and P=1024 (b_per_op is the headline: the
 #                        sparse path must stay ≥10x under dense at P=1024)
+#   internal/netsim      incremental max-min engine replaying P=256 and
+#                        P=1024 halo traffic on the hfast/fattree/mesh
+#                        fabrics (ns_per_op is the headline; run
+#                        BenchmarkSimulateReference by hand to compare
+#                        against the global water-filling solver)
 #
 # The JSON is a flat list of {package, name, iters, ns_per_op, b_per_op,
 # allocs_per_op} records plus a small env header, so successive runs can
@@ -45,8 +50,9 @@ run() { # run <package> <bench regexp>
 run ./internal/mpi 'BenchmarkPingPong|BenchmarkIsendWait|BenchmarkHaloExchange|BenchmarkAllreduce8'
 run ./internal/ipm 'BenchmarkCollectorEvent'
 run ./internal/apps 'BenchmarkProfileRun'
-run ./internal/experiments 'BenchmarkWarmAll'
+run ./internal/experiments 'BenchmarkWarmAll|BenchmarkModelStudy'
 run ./internal/topology 'BenchmarkGraphBuild|BenchmarkSweep'
+run ./internal/netsim 'BenchmarkSimulate$'
 
 awk -v go_ver="$(go env GOVERSION)" -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" '
 BEGIN {
