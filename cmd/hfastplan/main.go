@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 	"github.com/hfast-sim/hfast/internal/report"
 	"github.com/hfast-sim/hfast/internal/topology"
 )
@@ -45,18 +47,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	// The supplied profile enters the same stage chain hfastd serves:
+	// graph, assignment, and wiring are resolved (and content-addressed)
+	// by the pipeline rather than hand-rolled here.
+	ref, err := pipeline.Supplied(prof)
 	if err != nil {
 		fail(err)
 	}
-	a, err := hfast.Assign(g, *cutoff, *blockSize)
+	pipe := pipeline.New(pipeline.Options{})
+	plan, _, err := pipe.Plan(context.Background(), ref, pipeline.Steady(), *cutoff, *blockSize)
 	if err != nil {
 		fail(err)
 	}
-	w, err := hfast.Wire(a)
-	if err != nil {
-		fail(err)
-	}
+	a, w := plan.Assignment, plan.Wiring
 
 	fmt.Printf("# HFAST wiring plan: %s, P=%d, cutoff %d B, block size %d\n\n",
 		prof.App, prof.Procs, a.Cutoff, a.BlockSize)

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 )
 
 func main() {
@@ -44,12 +46,16 @@ func main() {
 	if _, err := apps.Lookup(*app); err != nil {
 		usageErr(fmt.Sprintf("%v (use -list to see choices)", err))
 	}
-	prof, err := apps.ProfileRun(*app, apps.Config{
+	// One-shot from the CLI, but routed through the pipeline's profile
+	// stage so the run is keyed and cached like every other producer.
+	pipe := pipeline.New(pipeline.Options{})
+	prof, _, err := pipe.Profile(context.Background(), pipeline.Spec(pipeline.ProfileSpec{
+		App:   *app,
 		Procs: *procs,
 		Steps: *steps,
 		Scale: *scale,
 		Seed:  *seed,
-	})
+	}))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hfastsim: %v\n", err)
 		os.Exit(1)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"github.com/hfast-sim/hfast/internal/bdp"
 	"github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 	"github.com/hfast-sim/hfast/internal/report"
 	"github.com/hfast-sim/hfast/internal/topology"
 )
@@ -48,14 +50,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	// filter aggregates raw profile series (call mix, CDFs); pfilter names
+	// the same region selection for the content-addressed pipeline stages.
 	var filter ipm.RegionFilter
+	var pfilter pipeline.Filter
 	switch *region {
 	case "steady":
-		filter = ipm.SteadyState
+		filter, pfilter = ipm.SteadyState, pipeline.Steady()
 	case "all":
-		filter = ipm.AllRegions
+		filter, pfilter = ipm.AllRegions, pipeline.Everything()
 	default:
-		filter = ipm.Region(*region)
+		filter, pfilter = ipm.Region(*region), pipeline.Region(*region)
 	}
 
 	w := os.Stdout
@@ -72,7 +77,16 @@ func main() {
 	report.CDFPlot(w, "Collective buffer sizes", analysis.CDF(prof.CollectiveSizes(filter)), bdp.TargetThreshold)
 	fmt.Fprintln(w)
 
-	g, err := topology.FromProfile(prof, filter)
+	// Graph and comparison come from the shared stage chain: the graph
+	// artifact built for the heatmap is the same one the assignment and
+	// cost model below key off.
+	pipe := pipeline.New(pipeline.Options{})
+	ref, err := pipeline.Supplied(prof)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipmreport: %v\n", err)
+		os.Exit(1)
+	}
+	g, _, err := pipe.Graph(context.Background(), ref, pfilter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ipmreport: topology: %v\n", err)
 		os.Exit(1)
@@ -92,14 +106,9 @@ func main() {
 	report.SummaryTable(w, []analysis.Summary{sum})
 	fmt.Fprintln(w)
 
-	a, err := hfast.Assign(g, *cutoff, hfast.DefaultBlockSize)
+	cmp, _, err := pipe.Comparison(context.Background(), ref, pfilter, *cutoff, hfast.DefaultParams())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ipmreport: provisioning: %v\n", err)
-		os.Exit(1)
-	}
-	cmp, err := hfast.Compare(a, hfast.DefaultParams())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ipmreport: cost model: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "HFAST provisioning: %d blocks (%.2f/node), worst route %d SB hops / %d crossings\n",

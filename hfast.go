@@ -23,8 +23,14 @@ import (
 	"github.com/hfast-sim/hfast/internal/apps"
 	core "github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 	"github.com/hfast-sim/hfast/internal/topology"
 )
+
+// defaultPipeline backs the one-call helpers: repeated calls within a
+// process share profile/graph/assignment artifacts through the
+// content-addressed store instead of re-running skeletons.
+var defaultPipeline = pipeline.New(pipeline.Options{})
 
 // Config selects the workload of an application skeleton run.
 type Config = apps.Config
@@ -73,18 +79,16 @@ func RunAppContext(ctx context.Context, name string, cfg Config) (*Profile, erro
 }
 
 // ProvisionForApp profiles the named skeleton under ctx and provisions an
-// HFAST fabric for its steady-state topology in one call — the pipeline
-// the hfastd service serves.
+// HFAST fabric for its steady-state topology in one call — the same
+// pipeline stage chain the hfastd service serves, resolved through the
+// process-wide artifact store (so a second identical call is a cache
+// hit).
 func ProvisionForApp(ctx context.Context, name string, cfg Config, cutoff int, p Params) (*Assignment, error) {
-	prof, err := apps.ProfileRunContext(ctx, name, cfg)
-	if err != nil {
-		return nil, err
-	}
-	g, err := topology.FromProfile(prof, ipm.SteadyState)
-	if err != nil {
-		return nil, err
-	}
-	return core.Assign(g, cutoff, p.BlockSize)
+	ref := pipeline.Spec(pipeline.ProfileSpec{
+		App: name, Procs: cfg.Procs, Steps: cfg.Steps, Scale: cfg.Scale, Seed: cfg.Seed,
+	})
+	a, _, err := defaultPipeline.Assignment(ctx, ref, pipeline.Steady(), cutoff, p.BlockSize)
+	return a, err
 }
 
 // BuildGraph extracts the steady-state communication topology of a

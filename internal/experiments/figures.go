@@ -106,11 +106,7 @@ func FigAppData(r *Runner, app string) (*topology.Graph, map[int][]topology.TDCS
 	series := make(map[int][]topology.TDCStats)
 	var big *topology.Graph
 	for _, procs := range PaperProcs {
-		p, err := r.Profile(app, procs)
-		if err != nil {
-			return nil, nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(app, procs)
 		if err != nil {
 			return nil, nil, err
 		}

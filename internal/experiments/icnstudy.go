@@ -6,9 +6,7 @@ import (
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/icn"
-	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/report"
-	"github.com/hfast-sim/hfast/internal/topology"
 )
 
 // ICNRow is one application's fit on the bounded-degree ICN baseline.
@@ -27,11 +25,7 @@ type ICNRow struct {
 func ICNRows(r *Runner, procs, k int) ([]ICNRow, error) {
 	var rows []ICNRow
 	for _, app := range apps.Names() {
-		p, err := r.Profile(app, procs)
-		if err != nil {
-			return nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(app, procs)
 		if err != nil {
 			return nil, err
 		}

@@ -7,16 +7,12 @@ import (
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/cliquemap"
-	"github.com/hfast-sim/hfast/internal/fattree"
 	"github.com/hfast-sim/hfast/internal/hfast"
-	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/meshtorus"
-	"github.com/hfast-sim/hfast/internal/netsim"
 	"github.com/hfast-sim/hfast/internal/par"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 	"github.com/hfast-sim/hfast/internal/report"
-	"github.com/hfast-sim/hfast/internal/topology"
 	"github.com/hfast-sim/hfast/internal/trace"
-	"github.com/hfast-sim/hfast/internal/treenet"
 )
 
 // CostRow is one application's §5.3 cost-model comparison.
@@ -31,19 +27,7 @@ type CostRow struct {
 func CostRows(r *Runner, procs int, params hfast.Params) ([]CostRow, error) {
 	var rows []CostRow
 	for _, app := range apps.Names() {
-		p, err := r.Profile(app, procs)
-		if err != nil {
-			return nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
-		if err != nil {
-			return nil, err
-		}
-		a, err := hfast.Assign(g, 0, params.BlockSize)
-		if err != nil {
-			return nil, err
-		}
-		cmp, err := hfast.Compare(a, params)
+		cmp, err := r.Comparison(app, procs, 0, params)
 		if err != nil {
 			return nil, err
 		}
@@ -202,11 +186,7 @@ type AblationRow struct {
 func AblationRows(r *Runner, procs, blockSize int) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, app := range apps.Names() {
-		p, err := r.Profile(app, procs)
-		if err != nil {
-			return nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(app, procs)
 		if err != nil {
 			return nil, err
 		}
@@ -262,28 +242,21 @@ func NetsimRows(r *Runner, procs int) ([]NetsimRow, error) {
 // disjoint fields of their row, so the set shards over the worker pool
 // without locking.
 type netsimJob struct {
+	ai     int
 	app    string
 	fabric string
-	run    func() error
 }
 
 // NetsimRowsFor replays the named applications' steady-state traffic on
-// the three fabric models. Per-app preparation (profile, graph, flows,
-// circuit assignment) runs serially — profiles come from the runner's
-// warm cache — and the fabric simulations, three independent jobs per
-// app, shard over the internal/par worker pool. Routers are read-only
-// during simulation and every job owns distinct row fields, so the
-// parallel run is deterministic and race-free.
+// the three fabric models through the pipeline's Netsim stage. Per-app
+// preparation (profile, graph, flow count) runs serially — those
+// artifacts come from the pipeline's warm cache — and the fabric
+// simulations, three independent jobs per app, shard over the
+// internal/par worker pool. Every job resolves a distinct fabric
+// artifact and owns distinct row fields, so the parallel run is
+// deterministic and race-free.
 func NetsimRowsFor(r *Runner, appNames []string, procs int) ([]NetsimRow, error) {
-	lp := netsim.DefaultLinkParams()
-	tree, err := fattree.Design(procs, hfast.DefaultBlockSize)
-	if err != nil {
-		return nil, err
-	}
-	mesh, err := meshtorus.New(meshtorus.NearCube(procs, 3), true)
-	if err != nil {
-		return nil, err
-	}
+	fabrics := []string{pipeline.FabricHFAST, pipeline.FabricFCN, pipeline.FabricMesh}
 	rows := make([]NetsimRow, len(appNames))
 	var jobs []netsimJob
 	for ai, app := range appNames {
@@ -291,86 +264,35 @@ func NetsimRowsFor(r *Runner, appNames []string, procs int) ([]NetsimRow, error)
 		if err != nil {
 			return nil, err
 		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(app, procs)
 		if err != nil {
 			return nil, err
 		}
-		steps := p.Params["steps"]
-		if steps <= 0 {
-			steps = 1
+		rows[ai] = NetsimRow{App: app, Procs: procs, Flows: len(pipeline.FlowsFor(p, g))}
+		for _, fabric := range fabrics {
+			jobs = append(jobs, netsimJob{ai: ai, app: app, fabric: fabric})
 		}
-		var flows []netsim.Flow
-		g.ForEachEdge(func(i, j int, e topology.Edge) {
-			if e.Msgs == 0 {
-				return
-			}
-			// One aggregate flow per pair per direction, one step's worth
-			// of bytes.
-			per := e.Vol / int64(2*steps)
-			flows = append(flows, netsim.Flow{Src: i, Dst: j, Bytes: per})
-			flows = append(flows, netsim.Flow{Src: j, Dst: i, Bytes: per})
-		})
-		a, err := hfast.Assign(g, 0, hfast.DefaultBlockSize)
-		if err != nil {
-			return nil, err
-		}
-		row := &rows[ai]
-		row.App, row.Procs, row.Flows = app, procs, len(flows)
-
-		jobs = append(jobs,
-			netsimJob{app: app, fabric: "hfast", run: func() error {
-				hn := netsim.NewHFASTNet(a, lp)
-				hres, err := netsim.Simulate(hn.Network(), hn, flows)
-				if err != nil {
-					return err
-				}
-				row.HFAST = hres.Makespan
-				row.Collective = hres.Unroutable
-				if hres.Unroutable > 0 {
-					// Sub-threshold traffic rides the dedicated
-					// low-bandwidth tree (§2.4); simulate those flows there.
-					var small []netsim.Flow
-					for fi, fr := range hres.Flows {
-						if !fr.Routed {
-							small = append(small, flows[fi])
-						}
-					}
-					tn, err := netsim.NewTreeNet(procs, treenet.DefaultParams())
-					if err != nil {
-						return err
-					}
-					tres, err := netsim.Simulate(tn.Network(), tn, small)
-					if err != nil {
-						return err
-					}
-					row.TreeTime = tres.Makespan
-				}
-				return nil
-			}},
-			netsimJob{app: app, fabric: "fcn", run: func() error {
-				fn := netsim.NewFCNNet(procs, tree, lp)
-				fres, err := netsim.Simulate(fn.Network(), fn, flows)
-				if err != nil {
-					return err
-				}
-				row.FCN = fres.Makespan
-				return nil
-			}},
-			netsimJob{app: app, fabric: "mesh", run: func() error {
-				mn := netsim.NewMeshNet(mesh, lp)
-				mres, err := netsim.Simulate(mn.Network(), mn, flows)
-				if err != nil {
-					return err
-				}
-				row.Mesh = mres.Makespan
-				return nil
-			}},
-		)
 	}
 	errs := make([]error, len(jobs))
 	par.Ranges(len(jobs), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			errs[i] = jobs[i].run()
+			j := jobs[i]
+			res, err := r.Netsim(j.app, procs, j.fabric)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			row := &rows[j.ai]
+			switch j.fabric {
+			case pipeline.FabricHFAST:
+				row.HFAST = res.Makespan
+				row.Collective = res.Collective
+				row.TreeTime = res.TreeTime
+			case pipeline.FabricFCN:
+				row.FCN = res.Makespan
+			case pipeline.FabricMesh:
+				row.Mesh = res.Makespan
+			}
 		}
 	})
 	for i, err := range errs {
@@ -418,11 +340,11 @@ type TraceRow struct {
 func TraceRows(r *Runner, procs int) ([]TraceRow, error) {
 	var rows []TraceRow
 	for _, app := range apps.Names() {
-		p, err := r.Profile(app, procs)
+		ws, err := r.Windows(app, procs, 0)
 		if err != nil {
 			return nil, err
 		}
-		op, err := trace.Analyze(p, 0)
+		op, err := trace.AnalyzeWindows(procs, ws, 0)
 		if err != nil {
 			return nil, err
 		}

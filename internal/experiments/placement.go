@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"github.com/hfast-sim/hfast/internal/apps"
-	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/meshtorus"
 	"github.com/hfast-sim/hfast/internal/report"
 	"github.com/hfast-sim/hfast/internal/topology"
@@ -34,11 +33,7 @@ func PlacementRows(r *Runner, procs, iters int) ([]PlacementRow, error) {
 	}
 	var rows []PlacementRow
 	for _, app := range apps.Names() {
-		p, err := r.Profile(app, procs)
-		if err != nil {
-			return nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(app, procs)
 		if err != nil {
 			return nil, err
 		}

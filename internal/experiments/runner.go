@@ -7,12 +7,15 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 
 	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+	"github.com/hfast-sim/hfast/internal/topology"
+	"github.com/hfast-sim/hfast/internal/trace"
 )
 
 // PaperProcs are the two concurrencies the paper evaluates throughout.
@@ -39,31 +42,33 @@ func PaperSpecs() []Spec {
 	return specs
 }
 
-// Runner executes and caches application profiles so one process can
-// regenerate many artifacts without re-running the skeletons. Concurrent
-// requests for the same profile coalesce onto a single run.
+// Runner resolves application profiles and the analysis artifacts
+// derived from them through one shared internal/pipeline store, so one
+// process can regenerate many tables and figures without re-running
+// skeletons or re-deriving graphs/assignments. Concurrent requests for
+// the same artifact coalesce onto a single computation.
 type Runner struct {
-	steps    int
-	mu       sync.Mutex
-	cache    map[string]*ipm.Profile
-	inflight map[string]*profileFlight
-}
-
-// profileFlight is one in-progress skeleton run; duplicate requests wait
-// on done instead of starting their own run.
-type profileFlight struct {
-	done chan struct{}
-	p    *ipm.Profile
-	err  error
+	steps int
+	pipe  *pipeline.Pipeline
 }
 
 // NewRunner creates a runner; steps ≤ 0 uses the skeleton default.
 func NewRunner(steps int) *Runner {
 	return &Runner{
-		steps:    steps,
-		cache:    make(map[string]*ipm.Profile),
-		inflight: make(map[string]*profileFlight),
+		steps: steps,
+		// The paper grid is 12 profiles; the derived graph, assignment,
+		// comparison, window, and netsim artifacts multiply that by the
+		// stage count. 512 holds every artifact of a full regeneration.
+		pipe: pipeline.New(pipeline.Options{CacheEntries: 512}),
 	}
+}
+
+// Pipeline exposes the underlying artifact store (e.g. to inspect stage
+// metrics or share it with an embedding service).
+func (r *Runner) Pipeline() *pipeline.Pipeline { return r.pipe }
+
+func (r *Runner) ref(app string, procs int) pipeline.ProfileRef {
+	return pipeline.Spec(pipeline.ProfileSpec{App: app, Procs: procs, Steps: r.steps})
 }
 
 // Profile returns the (cached) profile of an application at a size.
@@ -73,42 +78,50 @@ func (r *Runner) Profile(app string, procs int) (*ipm.Profile, error) {
 
 // ProfileContext is Profile with cancellation. A duplicate of an
 // in-flight run waits for that run rather than recomputing; if ctx ends
-// first the caller gets ctx.Err() while the run itself continues for the
-// requester that started it. Errors are never cached.
+// first the caller gets ctx.Err() while the run itself continues for any
+// remaining waiter. Errors are never cached.
 func (r *Runner) ProfileContext(ctx context.Context, app string, procs int) (*ipm.Profile, error) {
-	key := fmt.Sprintf("%s/%d", app, procs)
-	r.mu.Lock()
-	if p, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return p, nil
-	}
-	if f, ok := r.inflight[key]; ok {
-		r.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.p, f.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-	f := &profileFlight{done: make(chan struct{})}
-	r.inflight[key] = f
-	r.mu.Unlock()
+	p, _, err := r.pipe.Profile(ctx, r.ref(app, procs))
+	return p, err
+}
 
-	f.p, f.err = apps.ProfileRunContext(ctx, app, apps.Config{Procs: procs, Steps: r.steps})
-	r.mu.Lock()
-	delete(r.inflight, key)
-	if f.err == nil {
-		r.cache[key] = f.p
-	}
-	r.mu.Unlock()
-	close(f.done)
-	return f.p, f.err
+// Graph returns the steady-state traffic graph of an application profile.
+func (r *Runner) Graph(app string, procs int) (*topology.Graph, error) {
+	g, _, err := r.pipe.Graph(context.Background(), r.ref(app, procs), pipeline.Steady())
+	return g, err
+}
+
+// Assignment returns the HFAST provisioning of the steady-state graph
+// (cutoff/blockSize 0 select the defaults).
+func (r *Runner) Assignment(app string, procs, cutoff, blockSize int) (*hfast.Assignment, error) {
+	a, _, err := r.pipe.Assignment(context.Background(), r.ref(app, procs), pipeline.Steady(), cutoff, blockSize)
+	return a, err
+}
+
+// Comparison returns the cost-model comparison of the provisioned fabric
+// against the fat-tree baseline.
+func (r *Runner) Comparison(app string, procs, cutoff int, params hfast.Params) (hfast.Comparison, error) {
+	cmp, _, err := r.pipe.Comparison(context.Background(), r.ref(app, procs), pipeline.Steady(), cutoff, params)
+	return cmp, err
+}
+
+// Windows returns the per-step traffic windows of an application profile
+// at the analysis cutoff (0 selects the default).
+func (r *Runner) Windows(app string, procs, cutoff int) ([]trace.Window, error) {
+	ws, _, err := r.pipe.Windows(context.Background(), r.ref(app, procs), "step", cutoff)
+	return ws, err
+}
+
+// Netsim replays the application's steady-state traffic on the named
+// fabric model (pipeline.FabricHFAST/FabricFCN/FabricMesh).
+func (r *Runner) Netsim(app string, procs int, fabric string) (*pipeline.FabricResult, error) {
+	res, _, err := r.pipe.Netsim(context.Background(), r.ref(app, procs), fabric)
+	return res, err
 }
 
 // WarmAll computes the given profiles concurrently on a bounded worker
 // pool (workers ≤ 0 selects GOMAXPROCS), coalescing duplicates through
-// the runner's in-flight table. Profiles are per-rank deterministic, so
+// the pipeline's in-flight table. Profiles are per-rank deterministic, so
 // a parallel warm-up is byte-identical to serial runs — only wall-clock
 // changes. The first error cancels the remaining work and is returned.
 func (r *Runner) WarmAll(ctx context.Context, specs []Spec, workers int) error {
@@ -161,14 +174,17 @@ feed:
 }
 
 // ServeProfile adapts the runner to the hfastd server's Runner injection
-// point: default-parameter requests (scale and seed zero, steps matching
-// the runner's) are served from the shared warm cache with in-flight
-// coalescing, so a pre-warmed daemon answers cold /v1/provision requests
-// for the paper workloads without re-profiling. Anything else falls
-// through to a fresh pipeline run.
+// point: every request resolves through the runner's shared pipeline, so
+// a pre-warmed daemon answers cold /v1/provision requests for the paper
+// workloads without re-profiling. Default-parameter requests (scale and
+// seed zero, steps matching the runner's) share the warm-up's artifacts;
+// anything else content-addresses its own.
 func (r *Runner) ServeProfile(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
 	if cfg.Scale == 0 && cfg.Seed == 0 && cfg.Steps == r.steps {
 		return r.ProfileContext(ctx, app, cfg.Procs)
 	}
-	return apps.ProfileRunContext(ctx, app, cfg)
+	p, _, err := r.pipe.Profile(ctx, pipeline.Spec(pipeline.ProfileSpec{
+		App: app, Procs: cfg.Procs, Steps: cfg.Steps, Scale: cfg.Scale, Seed: cfg.Seed,
+	}))
+	return p, err
 }

@@ -4,11 +4,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"sync/atomic"
 	"testing"
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 )
 
 // smallSpecs is a fast grid for runner tests: every app at a size that
@@ -85,30 +85,25 @@ func TestWarmAllMatchesSerial(t *testing.T) {
 // warm-up (and a second warm-up over the same grid) do not re-run the
 // pipeline.
 func TestWarmAllCoalescesDuplicates(t *testing.T) {
-	var runs atomic.Int64
 	r := NewRunner(1)
 	specs := []Spec{{"cactus", 8}, {"cactus", 8}, {"cactus", 8}, {"gtc", 8}}
-	// Count actual pipeline executions by pre-counting cache state: every
-	// cache miss runs exactly one skeleton, so the cache length afterwards
-	// is the run count for a fresh runner.
+	// Every profile-stage miss runs exactly one skeleton, so the stage's
+	// miss counter is the run count for a fresh runner.
 	if err := r.WarmAll(context.Background(), specs, 4); err != nil {
 		t.Fatalf("WarmAll: %v", err)
 	}
-	r.mu.Lock()
-	runs.Store(int64(len(r.cache)))
-	r.mu.Unlock()
-	if runs.Load() != 2 {
-		t.Fatalf("expected 2 distinct runs, cache holds %d", runs.Load())
+	if got := r.Pipeline().Metrics().Stage(pipeline.StageProfile).Misses; got != 2 {
+		t.Fatalf("expected 2 distinct runs, profile stage missed %d times", got)
 	}
-	// A second pass is all cache hits; it must not error or grow the cache.
+	if got := r.Pipeline().CachedArtifacts(); got != 2 {
+		t.Fatalf("expected 2 cached profiles, store holds %d artifacts", got)
+	}
+	// A second pass is all cache hits; it must not error or re-run.
 	if err := r.WarmAll(context.Background(), specs, 2); err != nil {
 		t.Fatalf("second WarmAll: %v", err)
 	}
-	r.mu.Lock()
-	after := len(r.cache)
-	r.mu.Unlock()
-	if after != 2 {
-		t.Fatalf("second warm-up grew the cache to %d", after)
+	if got := r.Pipeline().Metrics().Stage(pipeline.StageProfile).Misses; got != 2 {
+		t.Fatalf("second warm-up re-ran the pipeline: %d misses", got)
 	}
 }
 
@@ -146,19 +141,19 @@ func TestServeProfileUsesSharedCache(t *testing.T) {
 	if p1 != p2 {
 		t.Error("default-parameter requests should share one cached profile")
 	}
-	// Non-default parameters bypass the shared cache.
+	stats := r.Pipeline().Metrics().Stage(pipeline.StageProfile)
+	if stats.Misses != 1 || stats.Hits != 1 {
+		t.Errorf("default-parameter pair: %d misses / %d hits, want 1/1", stats.Misses, stats.Hits)
+	}
+	// Non-default parameters resolve a distinct artifact.
 	p3, err := r.ServeProfile(context.Background(), "cactus", apps.Config{Procs: 8, Steps: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p3 == p1 {
-		t.Error("custom-steps request must not be served from the default cache")
+		t.Error("custom-steps request must not be served from the default artifact")
 	}
-	var n int
-	r.mu.Lock()
-	n = len(r.cache)
-	r.mu.Unlock()
-	if n != 1 {
-		t.Errorf("cache holds %d entries, want 1", n)
+	if got := r.Pipeline().Metrics().Stage(pipeline.StageProfile).Misses; got != 2 {
+		t.Errorf("custom-steps request missed %d times total, want 2", got)
 	}
 }

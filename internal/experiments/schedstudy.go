@@ -6,11 +6,9 @@ import (
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/hfast"
-	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/meshtorus"
 	"github.com/hfast-sim/hfast/internal/report"
 	"github.com/hfast-sim/hfast/internal/sched"
-	"github.com/hfast-sim/hfast/internal/topology"
 )
 
 // SchedComparison is the batch-queue study on one machine size.
@@ -92,11 +90,7 @@ func FaultRows(r *Runner, procs, failures int) ([]FaultRow, error) {
 	}
 	var rows []FaultRow
 	for _, app := range apps.Names() {
-		p, err := r.Profile(app, procs)
-		if err != nil {
-			return nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(app, procs)
 		if err != nil {
 			return nil, err
 		}

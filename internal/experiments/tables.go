@@ -95,11 +95,7 @@ func CasesRows(r *Runner, procs int) ([]CaseResult, error) {
 	}
 	var out []CaseResult
 	for _, in := range apps.Registry {
-		p, err := r.Profile(in.Name, procs)
-		if err != nil {
-			return nil, err
-		}
-		g, err := topology.FromProfile(p, ipm.SteadyState)
+		g, err := r.Graph(in.Name, procs)
 		if err != nil {
 			return nil, err
 		}

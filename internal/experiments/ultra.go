@@ -6,7 +6,6 @@ import (
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/hfast"
-	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/report"
 	"github.com/hfast-sim/hfast/internal/topology"
 )
@@ -38,19 +37,11 @@ func UltraRows(r *Runner, appNames []string, sizes []int) ([]UltraRow, error) {
 	var rows []UltraRow
 	for _, app := range appNames {
 		for _, procs := range sizes {
-			p, err := r.Profile(app, procs)
+			g, err := r.Graph(app, procs)
 			if err != nil {
 				return nil, err
 			}
-			g, err := topology.FromProfile(p, ipm.SteadyState)
-			if err != nil {
-				return nil, err
-			}
-			a, err := hfast.Assign(g, 0, params.BlockSize)
-			if err != nil {
-				return nil, err
-			}
-			cmp, err := hfast.Compare(a, params)
+			cmp, err := r.Comparison(app, procs, 0, params)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how a stage resolution was satisfied.
+type Outcome int
+
+const (
+	// Miss: this request ran the stage computation.
+	Miss Outcome = iota
+	// Hit: served from the completed-artifact cache.
+	Hit
+	// Coalesced: attached to an identical in-flight computation.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// flight is one in-progress stage computation that identical requests
+// attach to.
+type flight struct {
+	done   chan struct{}
+	val    any
+	err    error
+	cancel context.CancelFunc
+	// waiters counts requests still interested in the result; when the
+	// last one gives up (deadline, disconnect) the computation itself is
+	// cancelled so abandoned work doesn't occupy a worker slot.
+	waiters int
+}
+
+// cache is the content-addressed LRU of completed stage artifacts with
+// in-flight coalescing: concurrent requests for the same key run the
+// computation exactly once, and the result is retained for later
+// identical requests until evicted. One cache holds every stage's
+// artifacts; keys are stage-prefixed so they cannot collide.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List             // front = most recently used
+	items    map[Key]*list.Element  // key → element; element.Value is *entry
+	inflight map[Key]*flight
+	wg       sync.WaitGroup // running flights, for shutdown draining
+	metrics  *Metrics
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+func newCache(capacity int, m *Metrics) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
+		metrics:  m,
+	}
+}
+
+// do returns the cached artifact for key, attaches to an identical
+// in-flight computation, or runs fn itself. fn receives a context
+// detached from any single request: it is cancelled only when every
+// waiter has abandoned the flight, so one impatient client cannot kill a
+// result that other clients (or the cache) still want — unless it is the
+// only one. Successful results enter the LRU; errors are never cached.
+func (c *cache) do(ctx context.Context, stage string, key Key, fn func(context.Context) (any, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		c.metrics.hit(stage)
+		return val, Hit, nil
+	}
+	f, joined := c.inflight[key]
+	how := Coalesced
+	if joined {
+		f.waiters++
+	} else {
+		how = Miss
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		c.inflight[key] = f
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			start := time.Now()
+			val, err := fn(fctx)
+			cancel()
+			c.metrics.build(stage, time.Since(start).Seconds(), err)
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if err == nil {
+				c.addLocked(key, val)
+			}
+			f.val, f.err = val, err
+			close(f.done)
+			c.mu.Unlock()
+		}()
+	}
+	c.mu.Unlock()
+	if joined {
+		c.metrics.coalesced(stage)
+	} else {
+		c.metrics.miss(stage)
+	}
+
+	select {
+	case <-f.done:
+		return f.val, how, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, how, ctx.Err()
+	}
+}
+
+// addLocked inserts a completed artifact, evicting the least recently
+// used entry beyond capacity. Callers hold c.mu.
+func (c *cache) addLocked(key Key, val any) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// len reports the number of completed artifacts.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// wait blocks until every in-flight computation has finished.
+func (c *cache) wait() { c.wg.Wait() }

@@ -1,0 +1,192 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+)
+
+// tinyProfile is a real 4-rank profile the fake runners below hand out,
+// so downstream stages have valid input.
+func tinyProfile(t *testing.T) *ipm.Profile {
+	t.Helper()
+	prof, err := apps.ProfileRun("cactus", apps.Config{Procs: 4, Steps: 1})
+	if err != nil {
+		t.Fatalf("tiny profile: %v", err)
+	}
+	return prof
+}
+
+func spec(app string, procs int) pipeline.ProfileRef {
+	return pipeline.Spec(pipeline.ProfileSpec{App: app, Procs: procs})
+}
+
+func TestProfileCoalescesConcurrentResolves(t *testing.T) {
+	prof := tinyProfile(t)
+	var runs atomic.Int64
+	release := make(chan struct{})
+	pipe := pipeline.New(pipeline.Options{
+		Runner: func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			runs.Add(1)
+			<-release
+			return prof, nil
+		},
+	})
+
+	const waiters = 4
+	outcomes := make([]pipeline.Outcome, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, how, err := pipe.Profile(context.Background(), spec("cactus", 4))
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			outcomes[i] = how
+		}(i)
+	}
+	// Let all four join the flight before the build completes.
+	for pipe.Metrics().Stage(pipeline.StageProfile).Misses+
+		pipe.Metrics().Stage(pipeline.StageProfile).Coalesced < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner ran %d times, want 1", got)
+	}
+	var miss, coalesced int
+	for _, how := range outcomes {
+		switch how {
+		case pipeline.Miss:
+			miss++
+		case pipeline.Coalesced:
+			coalesced++
+		}
+	}
+	if miss != 1 || coalesced != waiters-1 {
+		t.Errorf("outcomes: %d miss / %d coalesced, want 1/%d", miss, coalesced, waiters-1)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	prof := tinyProfile(t)
+	var runs atomic.Int64
+	pipe := pipeline.New(pipeline.Options{
+		CacheEntries: 2,
+		Runner: func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			runs.Add(1)
+			return prof, nil
+		},
+	})
+	ctx := context.Background()
+	for _, procs := range []int{4, 8, 16} {
+		if _, _, err := pipe.Profile(ctx, spec("cactus", procs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pipe.CachedArtifacts(); got != 2 {
+		t.Fatalf("store holds %d artifacts, want capacity 2", got)
+	}
+	// P=4 is the least recently used and must have been evicted.
+	if _, how, err := pipe.Profile(ctx, spec("cactus", 4)); err != nil || how != pipeline.Miss {
+		t.Errorf("evicted artifact: how=%v err=%v, want Miss", how, err)
+	}
+	// P=16 is still resident.
+	if _, how, err := pipe.Profile(ctx, spec("cactus", 16)); err != nil || how != pipeline.Hit {
+		t.Errorf("resident artifact: how=%v err=%v, want Hit", how, err)
+	}
+	if got := runs.Load(); got != 4 {
+		t.Errorf("runner ran %d times, want 4 (3 cold + 1 re-run after eviction)", got)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	prof := tinyProfile(t)
+	var runs atomic.Int64
+	boom := errors.New("transient profiling failure")
+	pipe := pipeline.New(pipeline.Options{
+		Runner: func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			if runs.Add(1) == 1 {
+				return nil, boom
+			}
+			return prof, nil
+		},
+	})
+	ctx := context.Background()
+	_, _, err := pipe.Profile(ctx, spec("cactus", 4))
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped sentinel", err)
+	}
+	if _, _, err := pipe.Profile(ctx, spec("cactus", 4)); err != nil {
+		t.Fatalf("retry after error: %v (failure was cached)", err)
+	}
+	stats := pipe.Metrics().Stage(pipeline.StageProfile)
+	if stats.Errors != 1 || stats.Misses != 2 {
+		t.Errorf("stats: %d errors / %d misses, want 1/2", stats.Errors, stats.Misses)
+	}
+}
+
+// TestErrorsFlowWrappedThroughStages pins the %w chain: a runner failure
+// surfaced through the Comparison stage — three stages downstream — still
+// satisfies errors.Is on the original cause.
+func TestErrorsFlowWrappedThroughStages(t *testing.T) {
+	boom := errors.New("rank 3 deadlocked")
+	pipe := pipeline.New(pipeline.Options{
+		Runner: func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			return nil, boom
+		},
+	})
+	_, _, err := pipe.Comparison(context.Background(), spec("gtc", 8), pipeline.Steady(), 0, hfast.DefaultParams())
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want errors.Is to reach the runner's sentinel", err)
+	}
+}
+
+func TestCancellationPropagates(t *testing.T) {
+	pipe := pipeline.New(pipeline.Options{
+		Runner: func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := pipe.Profile(ctx, spec("cactus", 4))
+		done <- err
+	}()
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	pipe.Drain()
+}
+
+// TestStageErrorNamesStage checks the wrap format end to end on a real
+// (failing) spec: an unknown app fails in the profile stage, and the
+// error reaching a downstream stage's caller both names the stage and
+// unwraps to the original cause.
+func TestStageErrorNamesStage(t *testing.T) {
+	pipe := pipeline.New(pipeline.Options{})
+	_, _, err := pipe.Assignment(context.Background(), spec("no-such-app", 8), pipeline.Steady(), 0, 0)
+	if err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+	if !strings.Contains(err.Error(), "pipeline: profile") {
+		t.Errorf("error %q does not name the failing stage", err)
+	}
+}

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// StageStats is a point-in-time snapshot of one stage's counters.
+type StageStats struct {
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	// Builds counts completed stage computations; Errors the failed
+	// subset; BuildSeconds their cumulative wall time.
+	Builds       uint64
+	Errors       uint64
+	BuildSeconds float64
+}
+
+// Metrics aggregates per-stage cache and latency counters. All methods
+// are safe for concurrent use.
+type Metrics struct {
+	mu     sync.Mutex
+	stages map[string]*StageStats
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{stages: make(map[string]*StageStats)}
+}
+
+func (m *Metrics) stat(stage string) *StageStats {
+	s, ok := m.stages[stage]
+	if !ok {
+		s = &StageStats{}
+		m.stages[stage] = s
+	}
+	return s
+}
+
+func (m *Metrics) hit(stage string) {
+	m.mu.Lock()
+	m.stat(stage).Hits++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) miss(stage string) {
+	m.mu.Lock()
+	m.stat(stage).Misses++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) coalesced(stage string) {
+	m.mu.Lock()
+	m.stat(stage).Coalesced++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) build(stage string, seconds float64, err error) {
+	m.mu.Lock()
+	s := m.stat(stage)
+	s.Builds++
+	s.BuildSeconds += seconds
+	if err != nil {
+		s.Errors++
+	}
+	m.mu.Unlock()
+}
+
+// Stage returns a snapshot of one stage's counters (zero if the stage has
+// never resolved).
+func (m *Metrics) Stage(stage string) StageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.stages[stage]; ok {
+		return *s
+	}
+	return StageStats{}
+}
+
+// Snapshot returns all stages' counters keyed by stage name.
+func (m *Metrics) Snapshot() map[string]StageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]StageStats, len(m.stages))
+	for name, s := range m.stages {
+		out[name] = *s
+	}
+	return out
+}
+
+// WritePrometheus emits the per-stage counters in Prometheus text
+// exposition format, with deterministic (sorted) series order so the
+// output is testable. Series share the hfast_pipeline_ prefix so they
+// land beside the hfastd_ request metrics on the same /metrics page.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	snap := m.Snapshot()
+	stages := make([]string, 0, len(snap))
+	for name := range snap {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+
+	emit := func(metric, help, typ string, value func(StageStats) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n", metric, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", metric, typ)
+		for _, name := range stages {
+			fmt.Fprintf(w, "%s{stage=%q} %s\n", metric, name, value(snap[name]))
+		}
+	}
+	emit("hfast_pipeline_stage_hits_total", "Artifact-cache hits per pipeline stage.", "counter",
+		func(s StageStats) string { return fmt.Sprintf("%d", s.Hits) })
+	emit("hfast_pipeline_stage_misses_total", "Artifact-cache misses per pipeline stage.", "counter",
+		func(s StageStats) string { return fmt.Sprintf("%d", s.Misses) })
+	emit("hfast_pipeline_stage_coalesced_total", "Requests coalesced onto an in-flight stage computation.", "counter",
+		func(s StageStats) string { return fmt.Sprintf("%d", s.Coalesced) })
+	emit("hfast_pipeline_stage_errors_total", "Failed stage computations.", "counter",
+		func(s StageStats) string { return fmt.Sprintf("%d", s.Errors) })
+	emit("hfast_pipeline_stage_build_seconds_total", "Cumulative wall time spent building stage artifacts.", "counter",
+		func(s StageStats) string { return fmt.Sprintf("%g", s.BuildSeconds) })
+	emit("hfast_pipeline_stage_builds_total", "Completed stage computations (including failures).", "counter",
+		func(s StageStats) string { return fmt.Sprintf("%d", s.Builds) })
+}

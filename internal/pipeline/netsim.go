@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hfast-sim/hfast/internal/fattree"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/netsim"
+	"github.com/hfast-sim/hfast/internal/topology"
+	"github.com/hfast-sim/hfast/internal/treenet"
+)
+
+// Fabric names accepted by the Netsim stage.
+const (
+	FabricHFAST = "hfast"
+	FabricFCN   = "fcn"
+	FabricMesh  = "mesh"
+)
+
+// FabricResult is one fabric's simulated replay of a profile's
+// steady-state traffic.
+type FabricResult struct {
+	Fabric   string
+	Procs    int
+	Flows    int
+	Makespan float64 // seconds
+	// Collective counts flows below the provisioning cutoff that the
+	// HFAST fabric hands to the dedicated low-bandwidth tree (§2.4);
+	// TreeTime is their makespan there. Both are zero for fcn/mesh.
+	Collective int
+	TreeTime   float64
+}
+
+type netsimInputs struct {
+	Graph     Key    `json:"graph"`
+	Fabric    string `json:"fabric"`
+	BlockSize int    `json:"block_size"`
+}
+
+// Netsim replays the referenced profile's steady-state traffic — one
+// aggregate flow per directed pair carrying one step's worth of bytes —
+// on the named fabric model. Keyed by the steady-state graph, so the
+// three fabric replays of one app share their upstream artifacts.
+func (pl *Pipeline) Netsim(ctx context.Context, ref ProfileRef, fabric string) (*FabricResult, Outcome, error) {
+	key := keyOf(StageNetsim, netsimInputs{pl.graphKey(ref, Steady()), fabric, hfast.DefaultBlockSize})
+	v, how, err := pl.cache.do(ctx, StageNetsim, key, func(fctx context.Context) (any, error) {
+		return pl.runNetsim(fctx, ref, fabric)
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.(*FabricResult), how, nil
+}
+
+func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string) (*FabricResult, error) {
+	prof, _, err := pl.Profile(ctx, ref)
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := pl.Graph(ctx, ref, Steady())
+	if err != nil {
+		return nil, err
+	}
+	flows := FlowsFor(prof, g)
+	lp := netsim.DefaultLinkParams()
+	res := &FabricResult{Fabric: fabric, Procs: prof.Procs, Flows: len(flows)}
+
+	fail := func(err error) (*FabricResult, error) {
+		return nil, fmt.Errorf("pipeline: netsim %s on %s: %w", ref.describe(), fabric, err)
+	}
+	switch fabric {
+	case FabricHFAST:
+		a, _, err := pl.Assignment(ctx, ref, Steady(), 0, hfast.DefaultBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		hn := netsim.NewHFASTNet(a, lp)
+		hres, err := netsim.Simulate(hn.Network(), hn, flows)
+		if err != nil {
+			return fail(err)
+		}
+		res.Makespan, res.Collective = hres.Makespan, hres.Unroutable
+		if hres.Unroutable > 0 {
+			// Sub-threshold traffic rides the dedicated low-bandwidth
+			// tree (§2.4); simulate those flows there.
+			var small []netsim.Flow
+			for fi, fr := range hres.Flows {
+				if !fr.Routed {
+					small = append(small, flows[fi])
+				}
+			}
+			tn, err := netsim.NewTreeNet(prof.Procs, treenet.DefaultParams())
+			if err != nil {
+				return fail(err)
+			}
+			tres, err := netsim.Simulate(tn.Network(), tn, small)
+			if err != nil {
+				return fail(err)
+			}
+			res.TreeTime = tres.Makespan
+		}
+	case FabricFCN:
+		tree, err := fattree.Design(prof.Procs, hfast.DefaultBlockSize)
+		if err != nil {
+			return fail(err)
+		}
+		fn := netsim.NewFCNNet(prof.Procs, tree, lp)
+		fres, err := netsim.Simulate(fn.Network(), fn, flows)
+		if err != nil {
+			return fail(err)
+		}
+		res.Makespan = fres.Makespan
+	case FabricMesh:
+		mesh, err := meshtorus.New(meshtorus.NearCube(prof.Procs, 3), true)
+		if err != nil {
+			return fail(err)
+		}
+		mn := netsim.NewMeshNet(mesh, lp)
+		mres, err := netsim.Simulate(mn.Network(), mn, flows)
+		if err != nil {
+			return fail(err)
+		}
+		res.Makespan = mres.Makespan
+	default:
+		return nil, fmt.Errorf("pipeline: unknown fabric %q", fabric)
+	}
+	return res, nil
+}
+
+// FlowsFor converts a profile's steady-state graph into the flow set the
+// fabric studies replay: one aggregate flow per directed pair carrying
+// one step's worth of bytes. Deterministic — ForEachEdge iterates in
+// increasing (i, j) order.
+func FlowsFor(prof *ipm.Profile, g *topology.Graph) []netsim.Flow {
+	steps := prof.Params["steps"]
+	if steps <= 0 {
+		steps = 1
+	}
+	var flows []netsim.Flow
+	g.ForEachEdge(func(i, j int, e topology.Edge) {
+		if e.Msgs == 0 {
+			return
+		}
+		per := e.Vol / int64(2*steps)
+		flows = append(flows, netsim.Flow{Src: i, Dst: j, Bytes: per})
+		flows = append(flows, netsim.Flow{Src: j, Dst: i, Bytes: per})
+	})
+	return flows
+}

@@ -1,0 +1,127 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// parityProcs returns the grid sizes under test; HFAST_TEST_QUICK=1 (the
+// race CI lane) drops the expensive size.
+func parityProcs() []int {
+	if os.Getenv("HFAST_TEST_QUICK") != "" {
+		return []int{64}
+	}
+	return []int{64, 256}
+}
+
+// TestPipelineParityAllSkeletons pins the refactor's central promise: an
+// Assignment and Comparison resolved through the content-addressed stage
+// chain are byte-identical (canonical JSON) to the hand-rolled
+// FromProfile → Assign → Compare sequence every consumer ran before the
+// pipeline existed. Both chains consume the same profile, so wildcard
+// nondeterminism (superlu, pmemd) cannot leak in.
+func TestPipelineParityAllSkeletons(t *testing.T) {
+	params := hfast.DefaultParams()
+	for _, app := range apps.Names() {
+		for _, procs := range parityProcs() {
+			t.Run(fmt.Sprintf("%s/P%d", app, procs), func(t *testing.T) {
+				prof, err := apps.ProfileRun(app, apps.Config{Procs: procs, Steps: 2})
+				if err != nil {
+					t.Fatalf("profile: %v", err)
+				}
+
+				// Pre-refactor chain, exactly as the old server/CLIs
+				// spelled it out.
+				g, err := topology.FromProfile(prof, ipm.SteadyState)
+				if err != nil {
+					t.Fatalf("FromProfile: %v", err)
+				}
+				wantA, err := hfast.Assign(g, 0, 0)
+				if err != nil {
+					t.Fatalf("Assign: %v", err)
+				}
+				wantC, err := hfast.Compare(wantA, params)
+				if err != nil {
+					t.Fatalf("Compare: %v", err)
+				}
+
+				pipe := pipeline.New(pipeline.Options{})
+				ref, err := pipeline.Supplied(prof)
+				if err != nil {
+					t.Fatalf("Supplied: %v", err)
+				}
+				gotA, _, err := pipe.Assignment(context.Background(), ref, pipeline.Steady(), 0, 0)
+				if err != nil {
+					t.Fatalf("pipeline Assignment: %v", err)
+				}
+				gotC, _, err := pipe.Comparison(context.Background(), ref, pipeline.Steady(), 0, params)
+				if err != nil {
+					t.Fatalf("pipeline Comparison: %v", err)
+				}
+
+				if !jsonEqual(t, wantA, gotA) {
+					t.Error("Assignment JSON diverges from pre-refactor chain")
+				}
+				if !jsonEqual(t, wantC, gotC) {
+					t.Error("Comparison JSON diverges from pre-refactor chain")
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineParityExplicitDefaults checks the zero-value normalization:
+// cutoff 0 / block size 0 and the spelled-out defaults must resolve the
+// same artifact, so a cache populated by one serves the other.
+func TestPipelineParityExplicitDefaults(t *testing.T) {
+	prof, err := apps.ProfileRun("cactus", apps.Config{Procs: 16, Steps: 2})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	pipe := pipeline.New(pipeline.Options{})
+	ref, err := pipeline.Supplied(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a0, how0, err := pipe.Assignment(ctx, ref, pipeline.Steady(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how0 != pipeline.Miss {
+		t.Fatalf("first resolve: got %v, want Miss", how0)
+	}
+	a1, how1, err := pipe.Assignment(ctx, ref, pipeline.Steady(), topology.DefaultCutoff, hfast.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how1 != pipeline.Hit {
+		t.Errorf("explicit defaults resolved a distinct artifact: got %v, want Hit", how1)
+	}
+	if a0 != a1 {
+		t.Error("zero-value and explicit-default requests should share one cached assignment")
+	}
+}
+
+func jsonEqual(t *testing.T, want, got any) bool {
+	t.Helper()
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal want: %v", err)
+	}
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal got: %v", err)
+	}
+	return bytes.Equal(w, g)
+}

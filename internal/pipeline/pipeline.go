@@ -1,0 +1,433 @@
+// Package pipeline unifies the repository's analysis chain behind one
+// content-addressed artifact store. The paper's whole contribution is a
+// single repeated pipeline — profile an application skeleton under the
+// IPM collector, build its traffic graph, threshold at the TDC cutoff,
+// provision an HFAST assignment, and cost/simulate the result — and every
+// layer of this repo (the hfastd service, the experiments runner, the
+// CLIs, the public facade) needs some prefix of it.
+//
+// Each stage artifact is keyed by a canonical hash of its inputs:
+//
+//	Profile    app/procs/steps/scale/seed  (or the blob hash of an
+//	           uploaded profile)
+//	Graph      profile key + region filter
+//	Windows    profile key + region prefix + cutoff
+//	Assignment graph key + cutoff + block size
+//	Plan       assignment key (adds the physical wiring)
+//	Comparison assignment key + cost params
+//	Netsim     graph key + fabric + block size
+//
+// All stages resolve through one context-aware, singleflight-coalescing,
+// size-bounded LRU: concurrent requests for the same artifact run the
+// computation exactly once, results are shared by pointer until evicted,
+// and a stage abandoned by every waiter is cancelled. Per-stage hit/miss/
+// coalesce/latency counters are exposed in Prometheus text format for the
+// hfastd /metrics endpoint.
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/topology"
+	"github.com/hfast-sim/hfast/internal/trace"
+)
+
+// Stage names, used as cache-key prefixes and metric labels.
+const (
+	StageProfile = "profile"
+	StageGraph   = "graph"
+	StageWindows = "windows"
+	StageAssign  = "assign"
+	StagePlan    = "plan"
+	StageCompare = "compare"
+	StageNetsim  = "netsim"
+)
+
+// Key is a stage-scoped content address: the stage name plus a SHA-256
+// prefix of the canonical JSON encoding of the stage inputs. Equal inputs
+// hash equally (struct field order is fixed), so every consumer that asks
+// for the same artifact resolves to the same cache slot.
+type Key string
+
+func keyOf(stage string, v any) Key {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Stage inputs are plain data; this cannot fail in practice.
+		b = []byte(fmt.Sprintf("%+v", v))
+	}
+	sum := sha256.Sum256(b)
+	return Key(stage + ":" + hex.EncodeToString(sum[:12]))
+}
+
+// Runner executes one profiling run; injectable so services can count,
+// pace, and fake pipeline executions.
+type Runner func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error)
+
+// Options tunes a Pipeline. Zero values select the defaults.
+type Options struct {
+	// CacheEntries bounds the artifact LRU (default: 256 artifacts
+	// across all stages).
+	CacheEntries int
+	// Runner overrides the profile-stage executor (default:
+	// apps.ProfileRunContext).
+	Runner Runner
+	// AcquireSlot/ReleaseSlot, when set, gate profile-stage executions —
+	// the expensive stage — through an external worker pool. Acquire
+	// errors (e.g. saturation) propagate to every waiter unwrapped, so
+	// callers can map them with errors.Is. Downstream stages run
+	// ungated: graph/assignment/wiring are cheap next to a skeleton run.
+	AcquireSlot func(ctx context.Context) error
+	ReleaseSlot func()
+	// OnProfileRun is called once per profile execution actually started
+	// (after slot acquisition), for run accounting.
+	OnProfileRun func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.Runner == nil {
+		o.Runner = func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
+			return apps.ProfileRunContext(ctx, app, cfg)
+		}
+	}
+	return o
+}
+
+// Pipeline is the staged artifact store. Create with New; a Pipeline is
+// safe for concurrent use and intended to be shared process-wide.
+type Pipeline struct {
+	opts    Options
+	cache   *cache
+	metrics *Metrics
+}
+
+// New creates a pipeline with the given options.
+func New(opts Options) *Pipeline {
+	opts = opts.withDefaults()
+	m := newMetrics()
+	return &Pipeline{opts: opts, cache: newCache(opts.CacheEntries, m), metrics: m}
+}
+
+// Metrics exposes the per-stage counters.
+func (pl *Pipeline) Metrics() *Metrics { return pl.metrics }
+
+// Drain blocks until every in-flight stage computation has finished; used
+// by graceful shutdown after new requests are already being refused.
+func (pl *Pipeline) Drain() { pl.cache.wait() }
+
+// CachedArtifacts reports the number of completed artifacts resident in
+// the LRU (all stages combined).
+func (pl *Pipeline) CachedArtifacts() int { return pl.cache.len() }
+
+// --- profile references ---
+
+// ProfileSpec identifies one application skeleton run — the cache
+// identity of the Profile stage.
+type ProfileSpec struct {
+	App   string `json:"app"`
+	Procs int    `json:"procs"`
+	Steps int    `json:"steps"`
+	Scale int    `json:"scale"`
+	Seed  int64  `json:"seed"`
+}
+
+func (s ProfileSpec) config() apps.Config {
+	return apps.Config{Procs: s.Procs, Steps: s.Steps, Scale: s.Scale, Seed: s.Seed}
+}
+
+func (s ProfileSpec) String() string { return fmt.Sprintf("%s/%d", s.App, s.Procs) }
+
+// ProfileRef names the upstream profile of a stage request: either a spec
+// the pipeline runs (and caches) itself, or a supplied in-memory profile
+// content-addressed by its canonical encoding.
+type ProfileRef struct {
+	key  Key
+	spec *ProfileSpec
+	prof *ipm.Profile
+}
+
+// Spec returns a reference to the profile of an application run the
+// pipeline will execute on demand.
+func Spec(s ProfileSpec) ProfileRef {
+	return ProfileRef{key: keyOf(StageProfile, s), spec: &s}
+}
+
+// Supplied returns a reference to an already-materialized profile (an
+// upload, a file, a test fixture), content-addressed by the SHA-256 of
+// its canonical JSON encoding so identical uploads share downstream
+// artifacts.
+func Supplied(p *ipm.Profile) (ProfileRef, error) {
+	var canon bytes.Buffer
+	if err := p.WriteJSON(&canon); err != nil {
+		return ProfileRef{}, fmt.Errorf("pipeline: encoding supplied profile: %w", err)
+	}
+	sum := sha256.Sum256(canon.Bytes())
+	return ProfileRef{key: Key("profile-blob:" + hex.EncodeToString(sum[:12])), prof: p}, nil
+}
+
+// Key is the content address of the referenced profile artifact.
+func (r ProfileRef) Key() Key { return r.key }
+
+func (r ProfileRef) describe() string {
+	switch {
+	case r.spec != nil:
+		return r.spec.String()
+	case r.prof != nil:
+		return fmt.Sprintf("%s/%d (supplied)", r.prof.App, r.prof.Procs)
+	}
+	return "(empty ref)"
+}
+
+// --- region filters ---
+
+// Filter is a canonically-named region filter, so filtered artifacts can
+// be content-addressed (a bare func has no identity).
+type Filter struct {
+	name string
+	fn   ipm.RegionFilter
+}
+
+// Steady selects every region but initialization — the paper's default.
+func Steady() Filter { return Filter{name: "steady", fn: ipm.SteadyState} }
+
+// Everything selects all regions including initialization.
+func Everything() Filter { return Filter{name: "all", fn: ipm.AllRegions} }
+
+// Region selects a single named region.
+func Region(name string) Filter { return Filter{name: "region:" + name, fn: ipm.Region(name)} }
+
+// --- parameter normalization ---
+
+// normCutoff mirrors hfast.Assign's zero handling so cutoff 0 and the
+// explicit default address the same artifact.
+func normCutoff(c int) int {
+	if c == 0 {
+		return topology.DefaultCutoff
+	}
+	return c
+}
+
+func normBlock(b int) int {
+	if b == 0 {
+		return hfast.DefaultBlockSize
+	}
+	return b
+}
+
+// --- stage key derivations ---
+
+type graphInputs struct {
+	Profile Key    `json:"profile"`
+	Filter  string `json:"filter"`
+}
+
+type windowsInputs struct {
+	Profile Key    `json:"profile"`
+	Prefix  string `json:"prefix"`
+	Cutoff  int    `json:"cutoff"`
+}
+
+type assignInputs struct {
+	Graph     Key `json:"graph"`
+	Cutoff    int `json:"cutoff"`
+	BlockSize int `json:"block_size"`
+}
+
+type planInputs struct {
+	Assign Key `json:"assign"`
+}
+
+type compareInputs struct {
+	Assign Key          `json:"assign"`
+	Params hfast.Params `json:"params"`
+}
+
+func (pl *Pipeline) graphKey(ref ProfileRef, f Filter) Key {
+	return keyOf(StageGraph, graphInputs{ref.Key(), f.name})
+}
+
+func (pl *Pipeline) assignKey(ref ProfileRef, f Filter, cutoff, blockSize int) Key {
+	return keyOf(StageAssign, assignInputs{pl.graphKey(ref, f), cutoff, blockSize})
+}
+
+// --- stages ---
+
+// Profile resolves the referenced profile, running the skeleton under the
+// runner (and the worker-slot gate, when configured) on a miss. A
+// supplied reference returns its in-memory profile directly.
+func (pl *Pipeline) Profile(ctx context.Context, ref ProfileRef) (*ipm.Profile, Outcome, error) {
+	if ref.prof != nil {
+		return ref.prof, Hit, nil
+	}
+	if ref.spec == nil {
+		return nil, Miss, fmt.Errorf("pipeline: empty profile ref")
+	}
+	spec := *ref.spec
+	v, how, err := pl.cache.do(ctx, StageProfile, ref.key, func(fctx context.Context) (any, error) {
+		if pl.opts.AcquireSlot != nil {
+			// Gate errors pass through unwrapped so callers can map pool
+			// saturation with errors.Is.
+			if err := pl.opts.AcquireSlot(fctx); err != nil {
+				return nil, err
+			}
+			defer pl.opts.ReleaseSlot()
+		}
+		if pl.opts.OnProfileRun != nil {
+			pl.opts.OnProfileRun()
+		}
+		p, err := pl.opts.Runner(fctx, spec.App, spec.config())
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: profile %s: %w", spec, err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.(*ipm.Profile), how, nil
+}
+
+// Graph resolves the communication-topology graph of the referenced
+// profile under the region filter.
+func (pl *Pipeline) Graph(ctx context.Context, ref ProfileRef, f Filter) (*topology.Graph, Outcome, error) {
+	v, how, err := pl.cache.do(ctx, StageGraph, pl.graphKey(ref, f), func(fctx context.Context) (any, error) {
+		prof, _, err := pl.Profile(fctx, ref)
+		if err != nil {
+			return nil, err
+		}
+		g, err := topology.FromProfile(prof, f.fn)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: graph %s: %w", ref.describe(), err)
+		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.(*topology.Graph), how, nil
+}
+
+// Windows resolves the per-step traffic windows of the referenced profile
+// (regions matching prefix, TDC at cutoff) — the §6 time-windowed
+// analysis. Window artifacts are cached independently of the steady-state
+// graph, so phase-level consumers do not perturb whole-run ones.
+func (pl *Pipeline) Windows(ctx context.Context, ref ProfileRef, prefix string, cutoff int) ([]trace.Window, Outcome, error) {
+	cutoff = normCutoff(cutoff)
+	key := keyOf(StageWindows, windowsInputs{ref.Key(), prefix, cutoff})
+	v, how, err := pl.cache.do(ctx, StageWindows, key, func(fctx context.Context) (any, error) {
+		prof, _, err := pl.Profile(fctx, ref)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := trace.Windows(prof, prefix, cutoff)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: windows %s: %w", ref.describe(), err)
+		}
+		return ws, nil
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.([]trace.Window), how, nil
+}
+
+// Assignment resolves the paper's linear-time switch-block provisioning
+// of the filtered graph at the cutoff (DefaultCutoff when 0) and block
+// size (DefaultBlockSize when 0).
+func (pl *Pipeline) Assignment(ctx context.Context, ref ProfileRef, f Filter, cutoff, blockSize int) (*hfast.Assignment, Outcome, error) {
+	cutoff, blockSize = normCutoff(cutoff), normBlock(blockSize)
+	key := pl.assignKey(ref, f, cutoff, blockSize)
+	v, how, err := pl.cache.do(ctx, StageAssign, key, func(fctx context.Context) (any, error) {
+		g, _, err := pl.Graph(fctx, ref, f)
+		if err != nil {
+			return nil, err
+		}
+		a, err := hfast.Assign(g, cutoff, blockSize)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: assign %s: %w", ref.describe(), err)
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.(*hfast.Assignment), how, nil
+}
+
+// Plan is an assignment plus its physical circuit-switch wiring — the
+// artifact an operator hands to the control plane.
+type Plan struct {
+	App        string
+	Procs      int
+	Assignment *hfast.Assignment
+	Wiring     *hfast.Wiring
+}
+
+// Plan resolves the full wiring plan for the referenced profile.
+func (pl *Pipeline) Plan(ctx context.Context, ref ProfileRef, f Filter, cutoff, blockSize int) (*Plan, Outcome, error) {
+	cutoff, blockSize = normCutoff(cutoff), normBlock(blockSize)
+	key := keyOf(StagePlan, planInputs{pl.assignKey(ref, f, cutoff, blockSize)})
+	v, how, err := pl.cache.do(ctx, StagePlan, key, func(fctx context.Context) (any, error) {
+		prof, _, err := pl.Profile(fctx, ref)
+		if err != nil {
+			return nil, err
+		}
+		a, _, err := pl.Assignment(fctx, ref, f, cutoff, blockSize)
+		if err != nil {
+			return nil, err
+		}
+		w, err := hfast.Wire(a)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: wire %s: %w", ref.describe(), err)
+		}
+		return &Plan{App: prof.App, Procs: prof.Procs, Assignment: a, Wiring: w}, nil
+	})
+	if err != nil {
+		return nil, how, err
+	}
+	return v.(*Plan), how, nil
+}
+
+// Comparison resolves the cost-model comparison of the provisioned fabric
+// against the fat-tree baseline. The assignment uses params.BlockSize
+// (DefaultBlockSize when 0).
+func (pl *Pipeline) Comparison(ctx context.Context, ref ProfileRef, f Filter, cutoff int, params hfast.Params) (hfast.Comparison, Outcome, error) {
+	cutoff = normCutoff(cutoff)
+	params.BlockSize = normBlock(params.BlockSize)
+	akey := pl.assignKey(ref, f, cutoff, params.BlockSize)
+	key := keyOf(StageCompare, compareInputs{akey, params})
+	v, how, err := pl.cache.do(ctx, StageCompare, key, func(fctx context.Context) (any, error) {
+		a, _, err := pl.Assignment(fctx, ref, f, cutoff, params.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := hfast.Compare(a, params)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: compare %s: %w", ref.describe(), err)
+		}
+		return cmp, nil
+	})
+	if err != nil {
+		return hfast.Comparison{}, how, err
+	}
+	return v.(hfast.Comparison), how, nil
+}
+
+// Derived resolves a consumer-defined artifact through the same
+// content-addressed cache: stage labels the metrics series, inputs is
+// hashed into the key, and fn builds the artifact on a miss. Use it for
+// response shapes composed from several stage artifacts that should still
+// coalesce and cache as one unit.
+func (pl *Pipeline) Derived(ctx context.Context, stage string, inputs any, fn func(context.Context) (any, error)) (any, Outcome, error) {
+	return pl.cache.do(ctx, stage, keyOf(stage, inputs), fn)
+}

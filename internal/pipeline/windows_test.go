@@ -1,0 +1,107 @@
+package pipeline_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/mpi"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+)
+
+// phasedProfile builds a synthetic two-phase app at the given size: in
+// step000 every rank exchanges with its ring neighbor at stride 1, in
+// step001 at stride 2. The per-window partner sets are disjoint, so the
+// per-window assignments must differ — the trace-driven reconfiguration
+// case the Windows stage exists for.
+func phasedProfile(t *testing.T, procs int) *ipm.Profile {
+	t.Helper()
+	set := ipm.NewCollectorSet(0)
+	w := mpi.NewWorld(procs,
+		mpi.WithCostModel(mpi.DefaultCostModel()),
+		mpi.WithTracerFactory(set.Factory))
+	err := w.Run(func(c *mpi.Comm) {
+		me := c.Rank()
+		for s, stride := range []int{1, 2} {
+			c.RegionBegin(fmt.Sprintf("step%03d", s))
+			to := (me + stride) % procs
+			from := (me - stride + procs) % procs
+			r := c.Irecv(from, 1)
+			sd := c.Isend(to, 1, mpi.Size(4096))
+			c.Wait(r)
+			c.Wait(sd)
+			c.RegionEnd()
+		}
+	})
+	if err != nil {
+		t.Fatalf("phased world: %v", err)
+	}
+	return set.Profile("phased", procs, map[string]int{"steps": 2})
+}
+
+// TestWindowsStagePhasedApp feeds trace.Windows output through the
+// pipeline's Windows stage and checks that (a) the per-window topologies
+// provision differently, and (b) the windows artifact is cached
+// independently of the steady-state graph artifact — resolving one never
+// builds or hits the other.
+func TestWindowsStagePhasedApp(t *testing.T) {
+	const procs = 64
+	prof := phasedProfile(t, procs)
+	pipe := pipeline.New(pipeline.Options{})
+	ref, err := pipeline.Supplied(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ws, how, err := pipe.Windows(ctx, ref, "step", 0)
+	if err != nil {
+		t.Fatalf("Windows: %v", err)
+	}
+	if how != pipeline.Miss {
+		t.Fatalf("first Windows resolve: got %v, want Miss", how)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+
+	// Each window's ring has degree 2; the strides differ, so the
+	// provisioned partner lists must differ between the phases.
+	a0, err := hfast.Assign(ws[0].Graph, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := hfast.Assign(ws[1].Graph, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonEqual(t, a0, a1) {
+		t.Error("per-window assignments are identical; phases were not separated")
+	}
+	for w := range ws {
+		if got := ws[w].Stats.Max; got != 2 {
+			t.Errorf("window %d: max TDC %d, want 2 (ring)", w, got)
+		}
+	}
+
+	// Independence from the steady-state graph: the Windows resolve must
+	// not have touched the graph stage...
+	m := pipe.Metrics()
+	if got := m.Stage(pipeline.StageGraph).Misses + m.Stage(pipeline.StageGraph).Hits; got != 0 {
+		t.Fatalf("Windows resolve touched the graph stage %d times", got)
+	}
+	// ...and the steady-state graph is its own artifact with its own key.
+	if _, how, err := pipe.Graph(ctx, ref, pipeline.Steady()); err != nil || how != pipeline.Miss {
+		t.Fatalf("steady graph after windows: how=%v err=%v, want fresh Miss", how, err)
+	}
+	// A second Windows resolve hits its own cached artifact and leaves
+	// the graph stage counters alone.
+	if _, how, err := pipe.Windows(ctx, ref, "step", 0); err != nil || how != pipeline.Hit {
+		t.Fatalf("second Windows resolve: how=%v err=%v, want Hit", how, err)
+	}
+	if got := m.Stage(pipeline.StageGraph).Misses; got != 1 {
+		t.Errorf("second Windows resolve disturbed the graph stage: %d misses", got)
+	}
+}

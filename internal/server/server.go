@@ -16,14 +16,14 @@ import (
 	"github.com/hfast-sim/hfast/internal/apps"
 	core "github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/icn"
-	"github.com/hfast-sim/hfast/internal/ipm"
 	"github.com/hfast-sim/hfast/internal/meshtorus"
+	"github.com/hfast-sim/hfast/internal/pipeline"
 	"github.com/hfast-sim/hfast/internal/topology"
 )
 
 // Runner executes one profiling run; injectable so tests can count and
 // pace pipeline executions.
-type Runner func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error)
+type Runner = pipeline.Runner
 
 // Config tunes the service. Zero values select the defaults.
 type Config struct {
@@ -33,7 +33,7 @@ type Config struct {
 	// QueueDepth bounds requests waiting for a worker slot; beyond it
 	// requests are shed with 429 (default: 4×Workers).
 	QueueDepth int
-	// CacheEntries is the LRU plan-cache capacity (default: 128).
+	// CacheEntries is the artifact-cache capacity (default: 128).
 	CacheEntries int
 	// DefaultTimeout bounds requests that carry no timeout_ms
 	// (default: 2m). MaxTimeout caps client-supplied deadlines
@@ -67,21 +67,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxProcs <= 0 {
 		c.MaxProcs = 1024
 	}
-	if c.Runner == nil {
-		c.Runner = func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
-			return apps.ProfileRunContext(ctx, app, cfg)
-		}
-	}
 	return c
 }
 
 // Server is the hfastd HTTP service. Create with New, mount Handler, and
-// call Shutdown to drain.
+// call Shutdown to drain. All analysis artifacts — profiles, plans,
+// comparisons — resolve through one internal/pipeline store: the server
+// contributes request admission (worker pool, deadlines, draining) and
+// wire formats, nothing else.
 type Server struct {
 	cfg      Config
 	metrics  *Metrics
 	pool     *pool
-	cache    *planCache
+	pipe     *pipeline.Pipeline
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -91,12 +89,19 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	p := newPool(cfg.Workers, cfg.QueueDepth, m)
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		pool:    newPool(cfg.Workers, cfg.QueueDepth, m),
-		cache:   newPlanCache(cfg.CacheEntries),
-		mux:     http.NewServeMux(),
+		pool:    p,
+		pipe: pipeline.New(pipeline.Options{
+			CacheEntries: cfg.CacheEntries,
+			Runner:       cfg.Runner,
+			AcquireSlot:  p.acquire,
+			ReleaseSlot:  p.release,
+			OnProfileRun: m.addRun,
+		}),
+		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/apps", s.handleApps)
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
@@ -109,6 +114,9 @@ func New(cfg Config) *Server {
 
 // Metrics exposes the server's counters for tests and embedding.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pipeline exposes the artifact store for tests and embedding.
+func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
 
 // Handler returns the root handler: request accounting wrapped around the
 // route mux.
@@ -158,7 +166,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
-		s.cache.wait()
+		s.pipe.Drain()
 		close(done)
 	}()
 	select {
@@ -225,6 +233,8 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string, retryAf
 
 // writePipelineError maps pipeline failures to HTTP semantics: pool
 // saturation → 429 + Retry-After, missed deadline → 504, bad input → 400.
+// Pool and context errors travel through the pipeline unwrapped or
+// %w-wrapped, so errors.Is sees them regardless of which stage failed.
 func (s *Server) writePipelineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed):
@@ -241,13 +251,17 @@ func (s *Server) writePipelineError(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) recordOutcome(how outcome) {
+// recordOutcome maps the TOP-LEVEL stage outcome of a request onto the
+// request-facing counters. Nested stage resolutions inside a flight are
+// accounted by the pipeline's own per-stage metrics, not here, so the
+// request counters keep their original meaning (one outcome per request).
+func (s *Server) recordOutcome(how pipeline.Outcome) {
 	switch how {
-	case outcomeHit:
+	case pipeline.Hit:
 		s.metrics.addCacheHit()
-	case outcomeMiss:
+	case pipeline.Miss:
 		s.metrics.addCacheMiss()
-	case outcomeCoalesced:
+	case pipeline.Coalesced:
 		s.metrics.addCoalesced()
 	}
 }
@@ -269,46 +283,10 @@ func (s *Server) validateProfileRequest(req *ProfileRequest) error {
 	return nil
 }
 
-// profileIdentity is the cache identity of a profiling run (deadline
-// excluded: it bounds the request, not the result).
-type profileIdentity struct {
-	App   string
-	Procs int
-	Steps int
-	Scale int
-	Seed  int64
-}
-
-func identityOf(req ProfileRequest) profileIdentity {
-	return profileIdentity{App: req.App, Procs: req.Procs, Steps: req.Steps, Scale: req.Scale, Seed: req.Seed}
-}
-
-// profileFor returns the (cached) profile for an app spec, running the
-// pipeline under a worker slot on a miss.
-func (s *Server) profileFor(ctx context.Context, req ProfileRequest) (*ipm.Profile, outcome, error) {
-	key := cacheKey("profile", identityOf(req))
-	v, how, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
-		if err := s.pool.acquire(fctx); err != nil {
-			return nil, err
-		}
-		defer s.pool.release()
-		s.metrics.addRun()
-		return s.cfg.Runner(fctx, req.App, apps.Config{
-			Procs: req.Procs, Steps: req.Steps, Scale: req.Scale, Seed: req.Seed,
-		})
-	})
-	if err != nil {
-		return nil, how, err
-	}
-	return v.(*ipm.Profile), how, nil
-}
-
-// planArtifact is the cached output of a provisioning run.
-type planArtifact struct {
-	app    string
-	procs  int
-	assign *core.Assignment
-	wiring *core.Wiring
+// specOf is the cache identity of a profiling run (deadline excluded: it
+// bounds the request, not the result).
+func specOf(req ProfileRequest) pipeline.ProfileSpec {
+	return pipeline.ProfileSpec{App: req.App, Procs: req.Procs, Steps: req.Steps, Scale: req.Scale, Seed: req.Seed}
 }
 
 // --- handlers ---
@@ -325,6 +303,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
+	s.pipe.Metrics().WritePrometheus(w)
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
@@ -363,7 +342,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	prof, how, err := s.profileFor(ctx, req)
+	prof, how, err := s.pipe.Profile(ctx, pipeline.Spec(specOf(req)))
 	s.recordOutcome(how)
 	if err != nil {
 		s.writePipelineError(w, err)
@@ -383,69 +362,41 @@ func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
-	if req.BlockSize == 0 {
-		req.BlockSize = core.DefaultBlockSize
-	}
-	if req.Cutoff == 0 {
-		req.Cutoff = topology.DefaultCutoff
-	}
 
-	var key string
-	var build func(context.Context) (any, error)
+	var ref pipeline.ProfileRef
 	switch {
 	case req.Profile != nil:
-		// Uploaded profile: content-address its canonical encoding; no
-		// worker slot needed, provisioning is cheap.
-		var canon bytes.Buffer
-		if err := req.Profile.WriteJSON(&canon); err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("re-encoding uploaded profile: %v", err), 0)
+		// Uploaded profile: content-addressed by its canonical encoding;
+		// no worker slot needed, provisioning is cheap.
+		var err error
+		if ref, err = pipeline.Supplied(req.Profile); err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error(), 0)
 			return
-		}
-		key = cacheKey("plan-upload", struct {
-			Hash      string
-			Cutoff    int
-			BlockSize int
-		}{cacheKey("blob", canon.String()), req.Cutoff, req.BlockSize})
-		prof := req.Profile
-		build = func(fctx context.Context) (any, error) {
-			return buildPlan(prof, req.Cutoff, req.BlockSize)
 		}
 	default:
 		if err := s.validateProfileRequest(&req.ProfileRequest); err != nil {
 			s.writeError(w, http.StatusBadRequest, err.Error(), 0)
 			return
 		}
-		key = cacheKey("plan", struct {
-			Profile   profileIdentity
-			Cutoff    int
-			BlockSize int
-		}{identityOf(req.ProfileRequest), req.Cutoff, req.BlockSize})
-		build = func(fctx context.Context) (any, error) {
-			prof, _, err := s.profileFor(fctx, req.ProfileRequest)
-			if err != nil {
-				return nil, err
-			}
-			return buildPlan(prof, req.Cutoff, req.BlockSize)
-		}
+		ref = pipeline.Spec(specOf(req.ProfileRequest))
 	}
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	v, how, err := s.cache.do(ctx, key, build)
+	plan, how, err := s.pipe.Plan(ctx, ref, pipeline.Steady(), req.Cutoff, req.BlockSize)
 	s.recordOutcome(how)
 	if err != nil {
 		s.writePipelineError(w, err)
 		return
 	}
-	art := v.(*planArtifact)
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		writePlanText(w, art)
+		writePlanText(w, plan)
 		return
 	}
-	resp := planResponse(art)
+	resp := planResponse(plan)
 	if r.URL.Query().Get("detail") == "full" {
-		resp.Partners = art.assign.Partners
+		resp.Partners = plan.Assignment.Partners
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -481,19 +432,16 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey("compare", struct {
-		Profile   profileIdentity
-		Cutoff    int
-		BlockSize int
-	}{identityOf(req), cutoff, blockSize})
+	ref := pipeline.Spec(specOf(req))
+	inputs := struct {
+		Profile   pipeline.Key `json:"profile"`
+		Cutoff    int          `json:"cutoff"`
+		BlockSize int          `json:"block_size"`
+	}{ref.Key(), cutoff, blockSize}
 	ctx, cancel := s.requestContext(r, 0)
 	defer cancel()
-	v, how, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
-		prof, _, err := s.profileFor(fctx, req)
-		if err != nil {
-			return nil, err
-		}
-		return buildComparison(prof, cutoff, blockSize)
+	v, how, err := s.pipe.Derived(ctx, "compare-response", inputs, func(fctx context.Context) (any, error) {
+		return s.buildComparison(fctx, ref, cutoff, blockSize)
 	})
 	s.recordOutcome(how)
 	if err != nil {
@@ -509,33 +457,15 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// --- pipeline builders ---
+// --- response builders ---
 
-// buildPlan provisions a fabric and its physical wiring for a profile's
-// steady-state topology.
-func buildPlan(prof *ipm.Profile, cutoff, blockSize int) (*planArtifact, error) {
-	g, err := topology.FromProfile(prof, ipm.SteadyState)
-	if err != nil {
-		return nil, err
-	}
-	a, err := core.Assign(g, cutoff, blockSize)
-	if err != nil {
-		return nil, err
-	}
-	wiring, err := core.Wire(a)
-	if err != nil {
-		return nil, err
-	}
-	return &planArtifact{app: prof.App, procs: prof.Procs, assign: a, wiring: wiring}, nil
-}
-
-func planResponse(art *planArtifact) *ProvisionResponse {
-	a := art.assign
+func planResponse(p *pipeline.Plan) *ProvisionResponse {
+	a := p.Assignment
 	u := a.Ports()
 	max := a.MaxRoute()
 	return &ProvisionResponse{
-		App:           art.app,
-		Procs:         art.procs,
+		App:           p.App,
+		Procs:         p.Procs,
 		Cutoff:        a.Cutoff,
 		BlockSize:     a.BlockSize,
 		TotalBlocks:   a.TotalBlocks,
@@ -547,32 +477,37 @@ func planResponse(art *planArtifact) *ProvisionResponse {
 			Utilization: u.Utilization(),
 		},
 		MaxRoute:    RouteResponse{SBHops: max.SBHops, Crossings: max.Crossings},
-		SwitchPorts: art.wiring.Switch.Ports(),
-		LitPorts:    art.wiring.Switch.LitPorts(),
-		Circuits:    art.wiring.Switch.LitPorts() / 2,
+		SwitchPorts: p.Wiring.Switch.Ports(),
+		LitPorts:    p.Wiring.Switch.LitPorts(),
+		Circuits:    p.Wiring.Switch.LitPorts() / 2,
 	}
 }
 
-// buildComparison prices a profile's HFAST fabric against the fat-tree,
-// mesh, and ICN baselines.
-func buildComparison(prof *ipm.Profile, cutoff, blockSize int) (*CompareResponse, error) {
+// buildComparison composes the /v1/compare response from pipeline
+// artifacts — the hfast-vs-fat-tree Comparison stage plus the mesh and
+// ICN baselines the wire format also carries.
+func (s *Server) buildComparison(ctx context.Context, ref pipeline.ProfileRef, cutoff, blockSize int) (*CompareResponse, error) {
 	params := core.DefaultParams()
 	params.BlockSize = blockSize
-	g, err := topology.FromProfile(prof, ipm.SteadyState)
+	prof, _, err := s.pipe.Profile(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.Assign(g, cutoff, blockSize)
+	g, _, err := s.pipe.Graph(ctx, ref, pipeline.Steady())
 	if err != nil {
 		return nil, err
 	}
-	cmp, err := core.Compare(a, params)
+	a, _, err := s.pipe.Assignment(ctx, ref, pipeline.Steady(), cutoff, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	cmp, _, err := s.pipe.Comparison(ctx, ref, pipeline.Steady(), cutoff, params)
 	if err != nil {
 		return nil, err
 	}
 	mesh, err := meshtorus.New(meshtorus.NearCube(prof.Procs, 3), true)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("building mesh baseline: %w", err)
 	}
 	resp := &CompareResponse{
 		App:       prof.App,

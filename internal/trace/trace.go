@@ -113,11 +113,21 @@ func Analyze(p *ipm.Profile, cutoff int) (Opportunity, error) {
 	if err != nil {
 		return Opportunity{}, err
 	}
+	return AnalyzeWindows(p.Procs, ws, cutoff)
+}
+
+// AnalyzeWindows computes the reconfiguration opportunity from
+// already-extracted windows (e.g. a cached pipeline artifact), so the
+// expensive per-region graph builds are not repeated per analysis.
+func AnalyzeWindows(procs int, ws []Window, cutoff int) (Opportunity, error) {
+	if cutoff == 0 {
+		cutoff = topology.DefaultCutoff
+	}
 	op := Opportunity{Windows: len(ws)}
 	if len(ws) == 0 {
 		return op, nil
 	}
-	union, err := topology.NewGraph(p.Procs)
+	union, err := topology.NewGraph(procs)
 	if err != nil {
 		return Opportunity{}, err
 	}

@@ -2,11 +2,16 @@
 # bench.sh — run the fast-path benchmark suite and emit a JSON summary.
 #
 # Usage:
-#   scripts/bench.sh [-o out.json] [--smoke]
+#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline]
 #
-#   -o FILE   write the JSON summary to FILE (default: BENCH.json)
-#   --smoke   run every benchmark exactly once (-benchtime=1x); useful as
-#             a CI canary that the suite still compiles and runs
+#   -o FILE     write the JSON summary to FILE (default: BENCH.json,
+#               or BENCH_PR5.json with --pipeline)
+#   --smoke     run every benchmark exactly once (-benchtime=1x); useful as
+#               a CI canary that the suite still compiles and runs
+#   --pipeline  run only the artifact-pipeline cold/warm pair: a P=256
+#               provisioning plan resolved from an empty store vs the same
+#               request against a warm one. The warm resolve must stay
+#               >=10x under cold (in practice it is a key lookup, ~1000x)
 #
 # The suite covers the layers the profiling fast path touches:
 #   internal/mpi         message matching and request lifecycle
@@ -28,15 +33,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH.json"
+out=""
 benchtime=""
+pipeline_only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     -o) out="$2"; shift 2 ;;
     --smoke) benchtime="-benchtime=1x"; shift ;;
-    *) echo "usage: $0 [-o out.json] [--smoke]" >&2; exit 2 ;;
+    --pipeline) pipeline_only=1; shift ;;
+    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline]" >&2; exit 2 ;;
   esac
 done
+if [ -z "$out" ]; then
+  out="BENCH.json"
+  [ -n "$pipeline_only" ] && out="BENCH_PR5.json"
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -47,12 +58,17 @@ run() { # run <package> <bench regexp>
     | awk -v pkg="$1" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
 }
 
-run ./internal/mpi 'BenchmarkPingPong|BenchmarkIsendWait|BenchmarkHaloExchange|BenchmarkAllreduce8'
-run ./internal/ipm 'BenchmarkCollectorEvent'
-run ./internal/apps 'BenchmarkProfileRun'
-run ./internal/experiments 'BenchmarkWarmAll|BenchmarkModelStudy'
-run ./internal/topology 'BenchmarkGraphBuild|BenchmarkSweep'
-run ./internal/netsim 'BenchmarkSimulate$'
+if [ -n "$pipeline_only" ]; then
+  run ./internal/pipeline 'BenchmarkPlanColdP256$|BenchmarkPlanWarmP256$'
+else
+  run ./internal/mpi 'BenchmarkPingPong|BenchmarkIsendWait|BenchmarkHaloExchange|BenchmarkAllreduce8'
+  run ./internal/ipm 'BenchmarkCollectorEvent'
+  run ./internal/apps 'BenchmarkProfileRun'
+  run ./internal/experiments 'BenchmarkWarmAll|BenchmarkModelStudy'
+  run ./internal/topology 'BenchmarkGraphBuild|BenchmarkSweep'
+  run ./internal/netsim 'BenchmarkSimulate$'
+  run ./internal/pipeline 'BenchmarkPlanColdP256$|BenchmarkPlanWarmP256$'
+fi
 
 awk -v go_ver="$(go env GOVERSION)" -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" '
 BEGIN {
