@@ -441,13 +441,21 @@ func BenchmarkServerProvision(b *testing.B) {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 		}
 	}
+	newServer := func(b *testing.B, cfg server.Config) *server.Server {
+		b.Helper()
+		s, err := server.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			post(b, server.New(server.Config{Workers: 1, CacheEntries: 1}).Handler())
+			post(b, newServer(b, server.Config{Workers: 1, CacheEntries: 1}).Handler())
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
-		h := server.New(server.Config{Workers: 1}).Handler()
+		h := newServer(b, server.Config{Workers: 1}).Handler()
 		post(b, h) // warm the cache outside the timer
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

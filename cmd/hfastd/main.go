@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,10 @@ func main() {
 	maxProcs := fs.Int("max-procs", 1024, "largest accepted world size")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	prewarm := fs.Bool("prewarm", false, "profile the paper workloads before serving")
+	peers := fs.String("peers", "", "comma-separated base URLs of every replica (including this one); enables the clustered artifact tier")
+	self := fs.String("self", "", "this replica's own base URL as it appears in -peers")
+	peerTimeout := fs.Duration("peer-timeout", 2*time.Second, "deadline for one peer artifact fetch")
+	clusterToken := fs.String("cluster-token", "", "shared secret authenticating peer artifact requests")
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "hfastd: unexpected argument %q\n", fs.Arg(0))
@@ -61,7 +66,7 @@ func main() {
 			len(experiments.PaperSpecs()), time.Since(start).Round(time.Millisecond))
 	}
 
-	svc := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
@@ -69,7 +74,24 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxProcs:       *maxProcs,
 		Runner:         profiles.ServeProfile,
-	})
+		SelfURL:        *self,
+		PeerTimeout:    *peerTimeout,
+		ClusterToken:   *clusterToken,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("hfastd: %v", err)
+	}
+	if c := svc.Cluster(); c != nil {
+		log.Printf("hfastd: clustered artifact tier: %d replicas, self %s", len(c.Peers()), c.Self())
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

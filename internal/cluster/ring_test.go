@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return ms
+}
+
+// TestRingDeterminism pins the property the whole peer-fill protocol
+// rests on: every replica, given the same member list in any order,
+// agrees on every key's owner sequence.
+func TestRingDeterminism(t *testing.T) {
+	members := ringMembers(3)
+	shuffled := []string{members[2], members[0], members[1]}
+	a, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("assign:%032x", k)
+		ao, bo := a.Owners(key, 2), b.Owners(key, 2)
+		if len(ao) != 2 || len(bo) != 2 || ao[0] != bo[0] || ao[1] != bo[1] {
+			t.Fatalf("key %s: owner disagreement %v vs %v", key, ao, bo)
+		}
+		if ao[0] == ao[1] {
+			t.Fatalf("key %s: owners not distinct: %v", key, ao)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread ownership roughly
+// uniformly: no member of a 4-replica ring owns less than half or more
+// than double its fair share of 4000 keys.
+func TestRingBalance(t *testing.T) {
+	ring, err := NewRing(ringMembers(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 4000
+	for k := 0; k < keys; k++ {
+		counts[ring.Owners(fmt.Sprintf("graph:%d", k), 1)[0]]++
+	}
+	fair := keys / 4
+	for m, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("member %s owns %d of %d keys (fair share %d)", m, c, keys, fair)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d of 4 members own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingChurnStability verifies consistent hashing's point: removing
+// one member only remaps the keys it owned — every key owned by a
+// surviving member keeps its owner.
+func TestRingChurnStability(t *testing.T) {
+	members := ringMembers(4)
+	full, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(members[:3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[3]
+	moved := 0
+	const keys = 2000
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("plan:%d", k)
+		before := full.Owners(key, 1)[0]
+		after := reduced.Owners(key, 1)[0]
+		if before == removed {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s → %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("churn remapped %d of %d keys, want ~%d", moved, keys, keys/4)
+	}
+}
+
+// TestRingValidation covers the constructor's error paths and the
+// Owners clamp.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	ring, err := NewRing([]string{"a", "b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Owners("k", 5); len(got) != 2 {
+		t.Errorf("Owners(k, 5) on a 2-ring returned %v, want both members", got)
+	}
+	if got := ring.Owners("k", 0); len(got) != 1 {
+		t.Errorf("Owners(k, 0) returned %v, want one member", got)
+	}
+}

@@ -45,8 +45,9 @@ type netsimInputs struct {
 // on the named fabric model. Keyed by the steady-state graph, so the
 // three fabric replays of one app share their upstream artifacts.
 func (pl *Pipeline) Netsim(ctx context.Context, ref ProfileRef, fabric string) (*FabricResult, Outcome, error) {
-	key := keyOf(StageNetsim, netsimInputs{pl.graphKey(ref, Steady()), fabric, hfast.DefaultBlockSize})
-	v, how, err := pl.cache.do(ctx, StageNetsim, key, func(fctx context.Context) (any, error) {
+	rec := ref.recipe(StageNetsim)
+	rec.Filter, rec.Fabric = Steady().name, fabric
+	v, how, err := pl.resolve(ctx, rec, func(fctx context.Context) (any, error) {
 		return pl.runNetsim(fctx, ref, fabric)
 	})
 	if err != nil {

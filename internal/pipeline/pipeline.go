@@ -89,6 +89,11 @@ type Options struct {
 	// OnProfileRun is called once per profile execution actually started
 	// (after slot acquisition), for run accounting.
 	OnProfileRun func()
+	// Filler, when set, is consulted between an LRU miss and the local
+	// build: it may return the serialized artifact from a cheaper source
+	// (a peer replica's cache). Any Fill error falls back to the local
+	// build, so a filler can only make requests faster, never fail them.
+	Filler Filler
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +183,11 @@ func Supplied(p *ipm.Profile) (ProfileRef, error) {
 // Key is the content address of the referenced profile artifact.
 func (r ProfileRef) Key() Key { return r.key }
 
+// recipe starts a stage recipe rooted at this profile reference.
+func (r ProfileRef) recipe(stage string) Recipe {
+	return Recipe{Stage: stage, ProfileKey: r.key, Spec: r.spec}
+}
+
 func (r ProfileRef) describe() string {
 	switch {
 	case r.spec != nil:
@@ -252,15 +262,32 @@ type compareInputs struct {
 	Params hfast.Params `json:"params"`
 }
 
-func (pl *Pipeline) graphKey(ref ProfileRef, f Filter) Key {
-	return keyOf(StageGraph, graphInputs{ref.Key(), f.name})
-}
-
-func (pl *Pipeline) assignKey(ref ProfileRef, f Filter, cutoff, blockSize int) Key {
-	return keyOf(StageAssign, assignInputs{pl.graphKey(ref, f), cutoff, blockSize})
-}
-
 // --- stages ---
+
+// resolve is the shared stage-resolution path: derive the recipe's
+// content address, consult the cache (with in-flight coalescing), and on
+// a miss try the Filler (peer fill) before running the local build. The
+// fill decision is captured from the caller's context before the flight
+// detaches it, so LocalOnly requests — a replica serving a peer — never
+// re-forward the key they are being asked for. A corrupt or undecodable
+// peer artifact silently falls back to the local build.
+func (pl *Pipeline) resolve(ctx context.Context, rec Recipe, build func(context.Context) (any, error)) (any, Outcome, error) {
+	key, err := rec.Key()
+	if err != nil {
+		return nil, Miss, err
+	}
+	fill := pl.opts.Filler != nil && rec.Fillable() && !isLocalOnly(ctx)
+	return pl.cache.do(ctx, rec.Stage, key, func(fctx context.Context) (any, error) {
+		if fill {
+			if data, ferr := pl.opts.Filler.Fill(fctx, key, rec); ferr == nil {
+				if v, derr := DecodeArtifact(rec.Stage, data); derr == nil {
+					return v, nil
+				}
+			}
+		}
+		return build(fctx)
+	})
+}
 
 // Profile resolves the referenced profile, running the skeleton under the
 // runner (and the worker-slot gate, when configured) on a miss. A
@@ -273,7 +300,7 @@ func (pl *Pipeline) Profile(ctx context.Context, ref ProfileRef) (*ipm.Profile, 
 		return nil, Miss, fmt.Errorf("pipeline: empty profile ref")
 	}
 	spec := *ref.spec
-	v, how, err := pl.cache.do(ctx, StageProfile, ref.key, func(fctx context.Context) (any, error) {
+	v, how, err := pl.resolve(ctx, ref.recipe(StageProfile), func(fctx context.Context) (any, error) {
 		if pl.opts.AcquireSlot != nil {
 			// Gate errors pass through unwrapped so callers can map pool
 			// saturation with errors.Is.
@@ -300,7 +327,9 @@ func (pl *Pipeline) Profile(ctx context.Context, ref ProfileRef) (*ipm.Profile, 
 // Graph resolves the communication-topology graph of the referenced
 // profile under the region filter.
 func (pl *Pipeline) Graph(ctx context.Context, ref ProfileRef, f Filter) (*topology.Graph, Outcome, error) {
-	v, how, err := pl.cache.do(ctx, StageGraph, pl.graphKey(ref, f), func(fctx context.Context) (any, error) {
+	rec := ref.recipe(StageGraph)
+	rec.Filter = f.name
+	v, how, err := pl.resolve(ctx, rec, func(fctx context.Context) (any, error) {
 		prof, _, err := pl.Profile(fctx, ref)
 		if err != nil {
 			return nil, err
@@ -323,8 +352,9 @@ func (pl *Pipeline) Graph(ctx context.Context, ref ProfileRef, f Filter) (*topol
 // graph, so phase-level consumers do not perturb whole-run ones.
 func (pl *Pipeline) Windows(ctx context.Context, ref ProfileRef, prefix string, cutoff int) ([]trace.Window, Outcome, error) {
 	cutoff = normCutoff(cutoff)
-	key := keyOf(StageWindows, windowsInputs{ref.Key(), prefix, cutoff})
-	v, how, err := pl.cache.do(ctx, StageWindows, key, func(fctx context.Context) (any, error) {
+	rec := ref.recipe(StageWindows)
+	rec.Prefix, rec.Cutoff = prefix, cutoff
+	v, how, err := pl.resolve(ctx, rec, func(fctx context.Context) (any, error) {
 		prof, _, err := pl.Profile(fctx, ref)
 		if err != nil {
 			return nil, err
@@ -346,8 +376,9 @@ func (pl *Pipeline) Windows(ctx context.Context, ref ProfileRef, prefix string, 
 // size (DefaultBlockSize when 0).
 func (pl *Pipeline) Assignment(ctx context.Context, ref ProfileRef, f Filter, cutoff, blockSize int) (*hfast.Assignment, Outcome, error) {
 	cutoff, blockSize = normCutoff(cutoff), normBlock(blockSize)
-	key := pl.assignKey(ref, f, cutoff, blockSize)
-	v, how, err := pl.cache.do(ctx, StageAssign, key, func(fctx context.Context) (any, error) {
+	rec := ref.recipe(StageAssign)
+	rec.Filter, rec.Cutoff, rec.BlockSize = f.name, cutoff, blockSize
+	v, how, err := pl.resolve(ctx, rec, func(fctx context.Context) (any, error) {
 		g, _, err := pl.Graph(fctx, ref, f)
 		if err != nil {
 			return nil, err
@@ -376,8 +407,9 @@ type Plan struct {
 // Plan resolves the full wiring plan for the referenced profile.
 func (pl *Pipeline) Plan(ctx context.Context, ref ProfileRef, f Filter, cutoff, blockSize int) (*Plan, Outcome, error) {
 	cutoff, blockSize = normCutoff(cutoff), normBlock(blockSize)
-	key := keyOf(StagePlan, planInputs{pl.assignKey(ref, f, cutoff, blockSize)})
-	v, how, err := pl.cache.do(ctx, StagePlan, key, func(fctx context.Context) (any, error) {
+	rec := ref.recipe(StagePlan)
+	rec.Filter, rec.Cutoff, rec.BlockSize = f.name, cutoff, blockSize
+	v, how, err := pl.resolve(ctx, rec, func(fctx context.Context) (any, error) {
 		prof, _, err := pl.Profile(fctx, ref)
 		if err != nil {
 			return nil, err
@@ -404,9 +436,9 @@ func (pl *Pipeline) Plan(ctx context.Context, ref ProfileRef, f Filter, cutoff, 
 func (pl *Pipeline) Comparison(ctx context.Context, ref ProfileRef, f Filter, cutoff int, params hfast.Params) (hfast.Comparison, Outcome, error) {
 	cutoff = normCutoff(cutoff)
 	params.BlockSize = normBlock(params.BlockSize)
-	akey := pl.assignKey(ref, f, cutoff, params.BlockSize)
-	key := keyOf(StageCompare, compareInputs{akey, params})
-	v, how, err := pl.cache.do(ctx, StageCompare, key, func(fctx context.Context) (any, error) {
+	rec := ref.recipe(StageCompare)
+	rec.Filter, rec.Cutoff, rec.Params = f.name, cutoff, &params
+	v, how, err := pl.resolve(ctx, rec, func(fctx context.Context) (any, error) {
 		a, _, err := pl.Assignment(fctx, ref, f, cutoff, params.BlockSize)
 		if err != nil {
 			return nil, err

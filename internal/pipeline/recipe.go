@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/hfast-sim/hfast/internal/hfast"
+)
+
+// A Recipe is the portable description of one stage request: everything a
+// replica needs to (a) derive the stage's content address and (b) rebuild
+// the artifact from scratch. It is the body of the peer-fill protocol's
+// /internal/artifact requests — a replica that misses locally sends the
+// recipe to the key's ring owner, and the owner resolves it through its
+// own pipeline (building on a cold cache), so a hot cold key is built
+// exactly once cluster-wide.
+//
+// Recipes referencing a supplied (uploaded) profile carry no Spec and are
+// not fillable: only the uploading replica holds the blob.
+type Recipe struct {
+	// Stage names the artifact's pipeline stage (StageProfile … StageNetsim).
+	Stage string `json:"stage"`
+	// ProfileKey is the content address of the upstream profile.
+	ProfileKey Key `json:"profile_key"`
+	// Spec reproduces the profile run; nil for supplied profiles.
+	Spec *ProfileSpec `json:"spec,omitempty"`
+	// Filter is the canonical region-filter name (graph-derived stages).
+	Filter string `json:"filter,omitempty"`
+	// Prefix is the region prefix (Windows stage).
+	Prefix string `json:"prefix,omitempty"`
+	// Cutoff and BlockSize are the provisioning parameters, already
+	// normalized by the stage methods; Key normalizes again, so a
+	// hand-built recipe with zeros addresses the defaults' artifact.
+	Cutoff    int `json:"cutoff,omitempty"`
+	BlockSize int `json:"block_size,omitempty"`
+	// Fabric names the simulated fabric (Netsim stage).
+	Fabric string `json:"fabric,omitempty"`
+	// Params are the cost-model parameters (Compare stage).
+	Params *hfast.Params `json:"params,omitempty"`
+}
+
+// Fillable reports whether a peer can rebuild this artifact: it must name
+// a runnable profile spec (supplied-profile blobs exist only locally).
+func (r Recipe) Fillable() bool { return r.Spec != nil }
+
+// Key derives the recipe's content address. It is the single source of
+// the per-stage key derivations, shared by the stage methods and the
+// peer-fill protocol, so a key computed on one replica addresses the same
+// artifact on every other.
+func (r Recipe) Key() (Key, error) {
+	if r.ProfileKey == "" {
+		return "", fmt.Errorf("pipeline: recipe for stage %q has no profile key", r.Stage)
+	}
+	graphKey := keyOf(StageGraph, graphInputs{r.ProfileKey, r.Filter})
+	assignKey := func(blockSize int) Key {
+		return keyOf(StageAssign, assignInputs{graphKey, normCutoff(r.Cutoff), normBlock(blockSize)})
+	}
+	switch r.Stage {
+	case StageProfile:
+		return r.ProfileKey, nil
+	case StageGraph:
+		return graphKey, nil
+	case StageWindows:
+		return keyOf(StageWindows, windowsInputs{r.ProfileKey, r.Prefix, normCutoff(r.Cutoff)}), nil
+	case StageAssign:
+		return assignKey(r.BlockSize), nil
+	case StagePlan:
+		return keyOf(StagePlan, planInputs{assignKey(r.BlockSize)}), nil
+	case StageCompare:
+		if r.Params == nil {
+			return "", fmt.Errorf("pipeline: compare recipe has no params")
+		}
+		p := *r.Params
+		p.BlockSize = normBlock(p.BlockSize)
+		return keyOf(StageCompare, compareInputs{assignKey(p.BlockSize), p}), nil
+	case StageNetsim:
+		return keyOf(StageNetsim, netsimInputs{graphKey, r.Fabric, hfast.DefaultBlockSize}), nil
+	}
+	return "", fmt.Errorf("pipeline: unknown stage %q", r.Stage)
+}
+
+// FilterByName reconstructs a region filter from its canonical name, the
+// inverse of Steady/Everything/Region for recipes arriving off the wire.
+func FilterByName(name string) (Filter, error) {
+	switch {
+	case name == "steady":
+		return Steady(), nil
+	case name == "all":
+		return Everything(), nil
+	case strings.HasPrefix(name, "region:"):
+		return Region(strings.TrimPrefix(name, "region:")), nil
+	}
+	return Filter{}, fmt.Errorf("pipeline: unknown filter %q", name)
+}
+
+// Filler fills a stage-cache miss from somewhere cheaper than a local
+// build — in practice internal/cluster's peer-fill coordinator, which
+// fetches the serialized artifact from the key's ring owner. Fill returns
+// the artifact's wire bytes on success; any error (key locally owned,
+// peer miss, timeout, ring churn) makes the pipeline fall back to a local
+// build, so peers can only ever make a request faster, never fail it.
+type Filler interface {
+	Fill(ctx context.Context, key Key, r Recipe) ([]byte, error)
+}
+
+// localOnlyKey marks a context whose top-level stage resolution must not
+// consult the Filler.
+type localOnlyKey struct{}
+
+// LocalOnly returns a context that disables peer fill for the top-level
+// stage resolved under it. The /internal/artifact handler serves peers
+// under this context so an artifact request is never re-forwarded: the
+// requested key always resolves to a local build on the serving replica
+// (upstream stage artifacts may still fill from their own owners — the
+// stage graph is acyclic, so forwarding depth is bounded by its depth).
+func LocalOnly(ctx context.Context) context.Context {
+	return context.WithValue(ctx, localOnlyKey{}, true)
+}
+
+func isLocalOnly(ctx context.Context) bool {
+	v, _ := ctx.Value(localOnlyKey{}).(bool)
+	return v
+}
+
+// Resolve executes an arbitrary recipe through the staged store — the
+// serving half of the peer-fill protocol. The recipe must carry a profile
+// spec (supplied-profile artifacts cannot be rebuilt remotely).
+func (pl *Pipeline) Resolve(ctx context.Context, r Recipe) (any, Outcome, error) {
+	if r.Spec == nil {
+		return nil, Miss, fmt.Errorf("pipeline: recipe for stage %q names no profile spec", r.Stage)
+	}
+	ref := Spec(*r.Spec)
+	if r.ProfileKey != "" && ref.Key() != r.ProfileKey {
+		return nil, Miss, fmt.Errorf("pipeline: recipe profile key %s does not match its spec (%s)", r.ProfileKey, ref.Key())
+	}
+	switch r.Stage {
+	case StageProfile:
+		p, how, err := pl.Profile(ctx, ref)
+		return p, how, err
+	case StageWindows:
+		ws, how, err := pl.Windows(ctx, ref, r.Prefix, r.Cutoff)
+		return ws, how, err
+	case StageNetsim:
+		res, how, err := pl.Netsim(ctx, ref, r.Fabric)
+		return res, how, err
+	}
+	f, err := FilterByName(r.Filter)
+	if err != nil {
+		return nil, Miss, err
+	}
+	switch r.Stage {
+	case StageGraph:
+		g, how, err := pl.Graph(ctx, ref, f)
+		return g, how, err
+	case StageAssign:
+		a, how, err := pl.Assignment(ctx, ref, f, r.Cutoff, r.BlockSize)
+		return a, how, err
+	case StagePlan:
+		p, how, err := pl.Plan(ctx, ref, f, r.Cutoff, r.BlockSize)
+		return p, how, err
+	case StageCompare:
+		if r.Params == nil {
+			return nil, Miss, fmt.Errorf("pipeline: compare recipe has no params")
+		}
+		c, how, err := pl.Comparison(ctx, ref, f, r.Cutoff, *r.Params)
+		return c, how, err
+	}
+	return nil, Miss, fmt.Errorf("pipeline: unknown stage %q", r.Stage)
+}

@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/topology"
+	"github.com/hfast-sim/hfast/internal/trace"
+)
+
+// Artifact (de)serialization for every stage type — the wire half of the
+// clustered tier. Each stage's encoding is canonical (stable field order,
+// sorted slices), so encode → decode → re-encode is byte-identical and a
+// peer-transferred artifact is provably equivalent to a locally built
+// one; internal/pipeline's round-trip property tests pin this per stage.
+
+// planWire is Plan's wire form. The wiring is omitted and re-derived on
+// decode: hfast.Wire is deterministic in its assignment, so the rebuilt
+// plan is identical to the owner's, at a fraction of the transfer size.
+type planWire struct {
+	App        string            `json:"app"`
+	Procs      int               `json:"procs"`
+	Assignment *hfast.Assignment `json:"assignment"`
+}
+
+func encodeAs[T any](stage string, v any) ([]byte, error) {
+	t, ok := v.(T)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: %s artifact has unexpected type %T", stage, v)
+	}
+	return json.Marshal(t)
+}
+
+// EncodeArtifact serializes a stage artifact for the peer-fill wire.
+func EncodeArtifact(stage string, v any) ([]byte, error) {
+	switch stage {
+	case StageProfile:
+		p, ok := v.(*ipm.Profile)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: %s artifact has unexpected type %T", stage, v)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			return nil, fmt.Errorf("pipeline: encoding profile artifact: %w", err)
+		}
+		return buf.Bytes(), nil
+	case StageGraph:
+		return encodeAs[*topology.Graph](stage, v)
+	case StageWindows:
+		return encodeAs[[]trace.Window](stage, v)
+	case StageAssign:
+		return encodeAs[*hfast.Assignment](stage, v)
+	case StagePlan:
+		p, ok := v.(*Plan)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: %s artifact has unexpected type %T", stage, v)
+		}
+		return json.Marshal(planWire{App: p.App, Procs: p.Procs, Assignment: p.Assignment})
+	case StageCompare:
+		return encodeAs[hfast.Comparison](stage, v)
+	case StageNetsim:
+		return encodeAs[*FabricResult](stage, v)
+	}
+	return nil, fmt.Errorf("pipeline: cannot encode unknown stage %q", stage)
+}
+
+// DecodeArtifact deserializes a stage artifact off the peer-fill wire,
+// returning the same concrete type the stage method builds locally.
+func DecodeArtifact(stage string, data []byte) (any, error) {
+	fail := func(err error) (any, error) {
+		return nil, fmt.Errorf("pipeline: decoding %s artifact: %w", stage, err)
+	}
+	switch stage {
+	case StageProfile:
+		p, err := ipm.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return fail(err)
+		}
+		return p, nil
+	case StageGraph:
+		g := new(topology.Graph)
+		if err := json.Unmarshal(data, g); err != nil {
+			return fail(err)
+		}
+		return g, nil
+	case StageWindows:
+		var ws []trace.Window
+		if err := json.Unmarshal(data, &ws); err != nil {
+			return fail(err)
+		}
+		return ws, nil
+	case StageAssign:
+		a := new(hfast.Assignment)
+		if err := json.Unmarshal(data, a); err != nil {
+			return fail(err)
+		}
+		return a, nil
+	case StagePlan:
+		var w planWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return fail(err)
+		}
+		if w.Assignment == nil {
+			return fail(fmt.Errorf("plan wire form has no assignment"))
+		}
+		wiring, err := hfast.Wire(w.Assignment)
+		if err != nil {
+			return fail(err)
+		}
+		return &Plan{App: w.App, Procs: w.Procs, Assignment: w.Assignment, Wiring: wiring}, nil
+	case StageCompare:
+		var c hfast.Comparison
+		if err := json.Unmarshal(data, &c); err != nil {
+			return fail(err)
+		}
+		return c, nil
+	case StageNetsim:
+		r := new(FabricResult)
+		if err := json.Unmarshal(data, r); err != nil {
+			return fail(err)
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("pipeline: cannot decode unknown stage %q", stage)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/cluster"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+)
+
+// The --cluster benchmark pair: what the clustered artifact tier buys.
+// BenchmarkClusterRebuild resolves a P=64 provisioning plan from an
+// empty store (full profile+assign+wire build); BenchmarkClusterPeerFill
+// resolves the same plan on a cold replica whose ring owner is warm, so
+// the cost is one HTTP fetch plus artifact decode.
+
+// benchSpec finds a spec whose plan key is owned by ownerURL from the
+// fill side's perspective.
+func benchSpec(b *testing.B, peers []string, ownerURL string) pipeline.ProfileSpec {
+	b.Helper()
+	probe, err := cluster.NewFiller(cluster.Config{Self: peers[1], Peers: peers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for seed := int64(0); seed < 10000; seed++ {
+		spec := pipeline.ProfileSpec{App: "cactus", Procs: 64, Steps: 2, Seed: seed}
+		rec := pipeline.Recipe{
+			Stage:      pipeline.StagePlan,
+			ProfileKey: pipeline.Spec(spec).Key(),
+			Spec:       &spec,
+			Filter:     "steady",
+		}
+		key, err := rec.Key()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if probe.Owners(key)[0] == ownerURL {
+			return spec
+		}
+	}
+	b.Fatal("no owner-local seed found")
+	return pipeline.ProfileSpec{}
+}
+
+func BenchmarkClusterPeerFill(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	ownerURL := "http://" + ln.Addr().String()
+	// The fill side never serves; it only needs a distinct ring slot.
+	fillURL := "http://127.0.0.1:1"
+	peers := []string{ownerURL, fillURL}
+
+	owner, err := New(Config{Workers: 2, Peers: peers, SelfURL: ownerURL, PeerTimeout: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := &http.Server{Handler: owner.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	spec := benchSpec(b, peers, ownerURL)
+	ctx := context.Background()
+	// Warm the owner so every measured fill is a pure cache fetch.
+	if _, _, err := owner.Pipeline().Plan(ctx, pipeline.Spec(spec), pipeline.Steady(), 0, 0); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Workers: 2, Peers: peers, SelfURL: fillURL, PeerTimeout: time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, how, err := s.Pipeline().Plan(ctx, pipeline.Spec(spec), pipeline.Steady(), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Procs != spec.Procs {
+			b.Fatalf("bad plan: %+v", plan)
+		}
+		if how != pipeline.Miss {
+			b.Fatalf("outcome %v, want Miss (cold local cache)", how)
+		}
+		if s.Cluster().Metrics().Snapshot().PeerHits != 1 {
+			b.Fatal("plan was rebuilt locally, not peer-filled")
+		}
+	}
+}
+
+func BenchmarkClusterRebuild(b *testing.B) {
+	// Same spec shape as the peer-fill benchmark, no cluster: every
+	// iteration pays the full local build.
+	spec := pipeline.ProfileSpec{App: "cactus", Procs: 64, Steps: 2}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, _, err := s.Pipeline().Plan(ctx, pipeline.Spec(spec), pipeline.Steady(), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Procs != spec.Procs {
+			b.Fatalf("bad plan: %+v", plan)
+		}
+	}
+}

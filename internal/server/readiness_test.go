@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hfast-sim/hfast/internal/cluster"
+)
+
+// TestReadyzDrainAware pins the liveness/readiness split: /healthz
+// stays 200 through a drain (the process is alive and finishing work),
+// while /readyz flips to 503 the moment Shutdown begins so load
+// balancers stop routing new requests.
+func TestReadyzDrainAware(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("pre-drain /readyz: %d %q, want 200 ready", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("draining /readyz: %d %q, want 503 draining", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("draining /healthz: %d, want 200 (liveness is not readiness)", code)
+	}
+	if code, _ := get("/v1/apps"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /v1/apps: %d, want 503", code)
+	}
+}
+
+// TestClusterErrorStatusMapping pins the peer-fill error audit: cluster
+// failures that reach a response writer surface as 504 (deadline) or
+// 502 (peer miss/unavailable), never a generic 500 or a 400 that would
+// blame the client.
+func TestClusterErrorStatusMapping(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		err   error
+		write func(http.ResponseWriter, error)
+		want  int
+	}{
+		{"pipeline: peer deadline", fmt.Errorf("fill: %w", cluster.ErrPeerDeadline), s.writePipelineError, http.StatusGatewayTimeout},
+		{"pipeline: peer unavailable", fmt.Errorf("fill: %w", cluster.ErrPeerUnavailable), s.writePipelineError, http.StatusBadGateway},
+		{"pipeline: peer miss", fmt.Errorf("fill: %w", cluster.ErrPeerMiss), s.writePipelineError, http.StatusBadGateway},
+		{"pipeline: bad input stays 400", errors.New("unknown application"), s.writePipelineError, http.StatusBadRequest},
+		{"artifact: deadline", fmt.Errorf("profile: %w", context.DeadlineExceeded), s.writeArtifactError, http.StatusGatewayTimeout},
+		{"artifact: canceled", fmt.Errorf("profile: %w", context.Canceled), s.writeArtifactError, http.StatusGatewayTimeout},
+		{"artifact: saturated", fmt.Errorf("profile: %w", ErrSaturated), s.writeArtifactError, http.StatusTooManyRequests},
+		{"artifact: build failure is 502 not 500", errors.New("assign: graph too dense"), s.writeArtifactError, http.StatusBadGateway},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			tc.write(rec, tc.err)
+			if rec.Code != tc.want {
+				t.Errorf("%v mapped to %d, want %d", tc.err, rec.Code, tc.want)
+			}
+			if rec.Code == http.StatusInternalServerError {
+				t.Error("generic 500 leaked")
+			}
+		})
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/cluster"
 	core "github.com/hfast-sim/hfast/internal/hfast"
 	"github.com/hfast-sim/hfast/internal/icn"
 	"github.com/hfast-sim/hfast/internal/meshtorus"
@@ -46,6 +48,17 @@ type Config struct {
 	// Runner overrides the profiling pipeline (default:
 	// apps.ProfileRunContext).
 	Runner Runner
+	// Peers, when set, joins this replica to a clustered artifact tier:
+	// the full list of replica base URLs, including this one. SelfURL
+	// names this replica's own entry. Stage keys are consistent-hashed
+	// across the peers; local misses fill from the key's owner instead
+	// of rebuilding.
+	Peers   []string
+	SelfURL string
+	// PeerTimeout bounds one peer fetch (default 2s). ClusterToken,
+	// when non-empty, authenticates /internal/artifact requests.
+	PeerTimeout  time.Duration
+	ClusterToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -80,28 +93,47 @@ type Server struct {
 	metrics  *Metrics
 	pool     *pool
 	pipe     *pipeline.Pipeline
+	cluster  *cluster.Filler // nil when not clustered
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight sync.WaitGroup
 }
 
-// New creates a Server with the given configuration.
-func New(cfg Config) *Server {
+// New creates a Server with the given configuration. It fails only on
+// an invalid cluster configuration (SelfURL missing from Peers, fewer
+// than two replicas).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	p := newPool(cfg.Workers, cfg.QueueDepth, m)
+	opts := pipeline.Options{
+		CacheEntries: cfg.CacheEntries,
+		Runner:       cfg.Runner,
+		AcquireSlot:  p.acquire,
+		ReleaseSlot:  p.release,
+		OnProfileRun: m.addRun,
+	}
+	var filler *cluster.Filler
+	if len(cfg.Peers) > 0 {
+		var err error
+		filler, err = cluster.NewFiller(cluster.Config{
+			Self:         cfg.SelfURL,
+			Peers:        cfg.Peers,
+			Token:        cfg.ClusterToken,
+			FetchTimeout: cfg.PeerTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts.Filler = filler
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
 		pool:    p,
-		pipe: pipeline.New(pipeline.Options{
-			CacheEntries: cfg.CacheEntries,
-			Runner:       cfg.Runner,
-			AcquireSlot:  p.acquire,
-			ReleaseSlot:  p.release,
-			OnProfileRun: m.addRun,
-		}),
-		mux: http.NewServeMux(),
+		pipe:    pipeline.New(opts),
+		cluster: filler,
+		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/apps", s.handleApps)
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
@@ -109,7 +141,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/compare", s.handleCompare)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	return s
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.cluster != nil {
+		s.mux.HandleFunc(cluster.ArtifactPathPrefix, s.handleArtifact)
+	}
+	return s, nil
 }
 
 // Metrics exposes the server's counters for tests and embedding.
@@ -117,6 +153,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Pipeline exposes the artifact store for tests and embedding.
 func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// Cluster exposes the peer-fill coordinator (nil when not clustered).
+func (s *Server) Cluster() *cluster.Filler { return s.cluster }
 
 // Handler returns the root handler: request accounting wrapped around the
 // route mux.
@@ -139,7 +178,9 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.inflight.Add(1)
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 	path := routeLabel(r.URL.Path)
-	if s.draining.Load() && path != "/metrics" && path != "/healthz" {
+	// /readyz is exempt so it can report the drain itself (plain 503,
+	// no Retry-After JSON) — that is its whole job.
+	if s.draining.Load() && path != "/metrics" && path != "/healthz" && path != "/readyz" {
 		s.writeError(rec, http.StatusServiceUnavailable, "server is draining", s.retryAfterSeconds())
 	} else {
 		s.mux.ServeHTTP(rec, r)
@@ -152,8 +193,11 @@ func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
 // routeLabel bounds metric label cardinality to the known routes.
 func routeLabel(p string) string {
 	switch p {
-	case "/v1/apps", "/v1/profile", "/v1/provision", "/v1/compare", "/metrics", "/healthz":
+	case "/v1/apps", "/v1/profile", "/v1/provision", "/v1/compare", "/metrics", "/healthz", "/readyz":
 		return p
+	}
+	if strings.HasPrefix(p, cluster.ArtifactPathPrefix) {
+		return "/internal/artifact"
 	}
 	return "other"
 }
@@ -246,6 +290,14 @@ func (s *Server) writePipelineError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		// The client went away; the code is for the access log only.
 		s.writeError(w, http.StatusGatewayTimeout, "request canceled", 0)
+	case errors.Is(err, cluster.ErrPeerDeadline):
+		// Peer-fill errors normally fall back to a local build inside
+		// the pipeline and never reach here; these cases are defensive,
+		// so a leaked cluster failure reads as 504/502, never 500/400.
+		s.metrics.addTimeout()
+		s.writeError(w, http.StatusGatewayTimeout, "peer fetch deadline exceeded", 0)
+	case errors.Is(err, cluster.ErrPeerUnavailable), errors.Is(err, cluster.ErrPeerMiss):
+		s.writeError(w, http.StatusBadGateway, err.Error(), 0)
 	default:
 		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
 	}
@@ -291,9 +343,25 @@ func specOf(req ProfileRequest) pipeline.ProfileSpec {
 
 // --- handlers ---
 
+// handleHealthz is pure liveness: the process is up and serving. It
+// stays 200 through a drain so orchestrators do not kill a draining
+// replica that is still finishing work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is drain-aware readiness: it flips to 503 the moment
+// Shutdown begins, so load balancers stop routing new work while
+// in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -304,6 +372,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
 	s.pipe.Metrics().WritePrometheus(w)
+	if s.cluster != nil {
+		s.cluster.Metrics().WritePrometheus(w)
+	}
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {

@@ -22,7 +22,10 @@ import (
 // overridden.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -428,7 +431,7 @@ func TestAppsEndpoint(t *testing.T) {
 // new work is refused with 503.
 func TestShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{
+	s, err := New(Config{
 		Workers: 1,
 		Runner: func(ctx context.Context, app string, cfg apps.Config) (*ipm.Profile, error) {
 			select {
@@ -439,6 +442,9 @@ func TestShutdownDrains(t *testing.T) {
 			return apps.ProfileRunContext(ctx, app, cfg)
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,60 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON wire format of Graph, used by the clustered artifact tier to
+// ship graph artifacts between hfastd replicas. The format is canonical:
+// edges are emitted in increasing (i, j) order and the adjacency is
+// rebuilt sorted on decode, so encode → decode → re-encode is
+// byte-identical.
+
+// graphWire is the serialized form: the rank count plus the undirected
+// edge list.
+type graphWire struct {
+	P     int        `json:"p"`
+	Edges []edgeWire `json:"edges"`
+}
+
+type edgeWire struct {
+	I      int   `json:"i"`
+	J      int   `json:"j"`
+	Vol    int64 `json:"vol"`
+	Msgs   int64 `json:"msgs"`
+	MaxMsg int   `json:"max_msg"`
+}
+
+// MarshalJSON encodes the graph as {p, edges} with edges in increasing
+// (i, j) order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	w := graphWire{P: g.P, Edges: make([]edgeWire, 0, g.EdgeCount())}
+	g.ForEachEdge(func(i, j int, e Edge) {
+		w.Edges = append(w.Edges, edgeWire{I: i, J: j, Vol: e.Vol, Msgs: e.Msgs, MaxMsg: e.MaxMsg})
+	})
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON rebuilds the sparse adjacency from the wire form,
+// validating the size and every edge's endpoints as AddTraffic does.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var w graphWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("topology: decoding graph: %w", err)
+	}
+	ng, err := NewGraph(w.P)
+	if err != nil {
+		return err
+	}
+	for _, e := range w.Edges {
+		if e.I == e.J {
+			return fmt.Errorf("topology: self edge (%d,%d) in graph wire form", e.I, e.J)
+		}
+		if err := ng.AddTraffic(e.I, e.J, e.Msgs, e.Vol, e.MaxMsg); err != nil {
+			return err
+		}
+	}
+	*g = *ng
+	return nil
+}

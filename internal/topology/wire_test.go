@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestGraphJSONRoundTrip pins the wire contract the clustered artifact
+// tier depends on: encode → decode → re-encode is byte-identical, and the
+// decoded graph answers every query like the original.
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := MustGraph(8)
+	mustAdd := func(i, j int, msgs, bytes int64, max int) {
+		t.Helper()
+		if err := g.AddTraffic(i, j, msgs, bytes, max); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1, 10, 4096, 512)
+	mustAdd(1, 2, 3, 100, 100)
+	mustAdd(7, 0, 1, 1<<20, 1<<20)
+	mustAdd(0, 1, 2, 64, 4096) // merge into an existing edge
+
+	first, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("round trip not byte-identical:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if back.P != g.P || back.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("decoded shape P=%d E=%d, want P=%d E=%d", back.P, back.EdgeCount(), g.P, g.EdgeCount())
+	}
+	for i := 0; i < g.P; i++ {
+		for j := 0; j < g.P; j++ {
+			if g.Vol(i, j) != back.Vol(i, j) || g.Msgs(i, j) != back.Msgs(i, j) || g.MaxMsg(i, j) != back.MaxMsg(i, j) {
+				t.Fatalf("edge (%d,%d) diverges after round trip", i, j)
+			}
+		}
+	}
+}
+
+// TestGraphJSONRejectsMalformed covers the validation paths: bad size,
+// out-of-range endpoints, self edges, garbage.
+func TestGraphJSONRejectsMalformed(t *testing.T) {
+	for name, data := range map[string]string{
+		"zero size":    `{"p":0,"edges":[]}`,
+		"out of range": `{"p":4,"edges":[{"i":0,"j":9,"vol":1,"msgs":1,"max_msg":1}]}`,
+		"self edge":    `{"p":4,"edges":[{"i":2,"j":2,"vol":1,"msgs":1,"max_msg":1}]}`,
+		"garbage":      `{"p":`,
+	} {
+		var g Graph
+		if err := json.Unmarshal([]byte(data), &g); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}

@@ -2,16 +2,22 @@
 # bench.sh — run the fast-path benchmark suite and emit a JSON summary.
 #
 # Usage:
-#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline]
+#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline] [--cluster]
 #
 #   -o FILE     write the JSON summary to FILE (default: BENCH.json,
-#               or BENCH_PR5.json with --pipeline)
+#               BENCH_PR5.json with --pipeline, BENCH_PR6.json with
+#               --cluster)
 #   --smoke     run every benchmark exactly once (-benchtime=1x); useful as
 #               a CI canary that the suite still compiles and runs
 #   --pipeline  run only the artifact-pipeline cold/warm pair: a P=256
 #               provisioning plan resolved from an empty store vs the same
 #               request against a warm one. The warm resolve must stay
 #               >=10x under cold (in practice it is a key lookup, ~1000x)
+#   --cluster   run only the clustered-tier pair: a cold replica resolving
+#               a P=64 plan by peer-filling from its warm ring owner vs
+#               rebuilding the same plan locally from scratch. Peer fill
+#               should land well under rebuild (one loopback HTTP fetch +
+#               artifact decode vs a full profile+assign+wire build)
 #
 # The suite covers the layers the profiling fast path touches:
 #   internal/mpi         message matching and request lifecycle
@@ -36,17 +42,20 @@ cd "$(dirname "$0")/.."
 out=""
 benchtime=""
 pipeline_only=""
+cluster_only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     -o) out="$2"; shift 2 ;;
     --smoke) benchtime="-benchtime=1x"; shift ;;
     --pipeline) pipeline_only=1; shift ;;
-    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline]" >&2; exit 2 ;;
+    --cluster) cluster_only=1; shift ;;
+    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline] [--cluster]" >&2; exit 2 ;;
   esac
 done
 if [ -z "$out" ]; then
   out="BENCH.json"
   [ -n "$pipeline_only" ] && out="BENCH_PR5.json"
+  [ -n "$cluster_only" ] && out="BENCH_PR6.json"
 fi
 
 raw="$(mktemp)"
@@ -58,7 +67,9 @@ run() { # run <package> <bench regexp>
     | awk -v pkg="$1" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
 }
 
-if [ -n "$pipeline_only" ]; then
+if [ -n "$cluster_only" ]; then
+  run ./internal/server 'BenchmarkClusterPeerFill$|BenchmarkClusterRebuild$'
+elif [ -n "$pipeline_only" ]; then
   run ./internal/pipeline 'BenchmarkPlanColdP256$|BenchmarkPlanWarmP256$'
 else
   run ./internal/mpi 'BenchmarkPingPong|BenchmarkIsendWait|BenchmarkHaloExchange|BenchmarkAllreduce8'
