@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/hfast"
@@ -15,6 +16,17 @@ import (
 // memory scales with edges, not P², so the ultra rows hold a few hundred
 // KB instead of the ~25 MB three dense 1024×1024 matrices would need.
 var UltraProcs = []int{1024}
+
+// UltraSizes is the grid Ultra actually renders: UltraProcs by default,
+// extended to P=4096 and P=16384 — the region-sharded netsim's target
+// scale — when HFAST_TEST_ULTRA=1 opts into the long run.
+func UltraSizes() []int {
+	sizes := append([]int{}, UltraProcs...)
+	if os.Getenv("HFAST_TEST_ULTRA") != "" {
+		sizes = append(sizes, 4096, 16384)
+	}
+	return sizes
+}
 
 // UltraRow is one skeleton analyzed and provisioned at an ultra-scale
 // concurrency.
@@ -77,11 +89,12 @@ func UltraFabricApps() []string {
 // replayed on the HFAST, FCN, and mesh models with the incremental
 // event-driven netsim engine.
 func Ultra(w io.Writer, r *Runner) error {
-	rows, err := UltraRows(r, apps.Names(), UltraProcs)
+	sizes := UltraSizes()
+	rows, err := UltraRows(r, apps.Names(), sizes)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Ultra-scale grid at P=%v (steady state, %dB cutoff)\n", UltraProcs, topology.DefaultCutoff)
+	fmt.Fprintf(w, "Ultra-scale grid at P=%v (steady state, %dB cutoff)\n", sizes, topology.DefaultCutoff)
 	tbl := report.NewTable("Code", "P", "Edges", "Fill", "TDC max", "TDC avg", "Blocks", "Cost ratio")
 	for _, row := range rows {
 		tbl.AddRow(
@@ -97,26 +110,27 @@ func Ultra(w io.Writer, r *Runner) error {
 	}
 	tbl.Write(w)
 
-	fprocs := UltraProcs[0]
-	frows, err := NetsimRowsFor(r, UltraFabricApps(), fprocs)
-	if err != nil {
-		return err
+	for _, fprocs := range sizes {
+		frows, err := NetsimRowsFor(r, UltraFabricApps(), fprocs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nFabric contention at P=%d (per-step traffic, makespan in ms)\n", fprocs)
+		ftbl := report.NewTable("Code", "Flows", "HFAST", "FCN", "Mesh(torus)", "Mesh/HFAST", "tree flows", "tree ms")
+		for _, row := range frows {
+			ftbl.AddRow(
+				row.App,
+				fmt.Sprintf("%d", row.Flows),
+				fmt.Sprintf("%.3f", row.HFAST*1e3),
+				fmt.Sprintf("%.3f", row.FCN*1e3),
+				fmt.Sprintf("%.3f", row.Mesh*1e3),
+				fmt.Sprintf("%.2f", row.Mesh/row.HFAST),
+				fmt.Sprintf("%d", row.Collective),
+				fmt.Sprintf("%.3f", row.TreeTime*1e3),
+			)
+		}
+		ftbl.Write(w)
 	}
-	fmt.Fprintf(w, "\nFabric contention at P=%d (per-step traffic, makespan in ms)\n", fprocs)
-	ftbl := report.NewTable("Code", "Flows", "HFAST", "FCN", "Mesh(torus)", "Mesh/HFAST", "tree flows", "tree ms")
-	for _, row := range frows {
-		ftbl.AddRow(
-			row.App,
-			fmt.Sprintf("%d", row.Flows),
-			fmt.Sprintf("%.3f", row.HFAST*1e3),
-			fmt.Sprintf("%.3f", row.FCN*1e3),
-			fmt.Sprintf("%.3f", row.Mesh*1e3),
-			fmt.Sprintf("%.2f", row.Mesh/row.HFAST),
-			fmt.Sprintf("%d", row.Collective),
-			fmt.Sprintf("%.3f", row.TreeTime*1e3),
-		)
-	}
-	ftbl.Write(w)
 	fmt.Fprintln(w, "(dense codes are omitted: with every pair communicating the incremental")
 	fmt.Fprintln(w, " replay has no locality to exploit; their TDC above already settles case iv)")
 	return nil

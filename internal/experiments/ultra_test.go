@@ -69,6 +69,31 @@ func TestUltraFabricRowsAtP1024(t *testing.T) {
 	}
 }
 
+// TestUltraFabricRowsAtP16384 drives the region-sharded netsim at the
+// scale the PR titles: the halo skeleton's steady traffic at P=16384 on
+// all three contended fabric models. Long (tens of seconds), so it only
+// runs when HFAST_TEST_ULTRA=1 opts in.
+func TestUltraFabricRowsAtP16384(t *testing.T) {
+	if os.Getenv("HFAST_TEST_ULTRA") == "" {
+		t.Skip("set HFAST_TEST_ULTRA=1 for the P=16384 fabric study")
+	}
+	r := testRunner()
+	for _, procs := range []int{4096, 16384} {
+		rows, err := NetsimRowsFor(r, []string{"cactus"}, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Procs != procs || row.Flows < procs {
+				t.Errorf("P=%d: bad row shape %+v", procs, row)
+			}
+			if row.HFAST <= 0 || row.FCN <= 0 || row.Mesh <= 0 {
+				t.Errorf("P=%d: non-positive makespan %+v", procs, row)
+			}
+		}
+	}
+}
+
 func TestUltraRenders(t *testing.T) {
 	if os.Getenv("HFAST_TEST_QUICK") != "" {
 		t.Skip("HFAST_TEST_QUICK set")

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"github.com/hfast-sim/hfast/internal/fattree"
@@ -59,8 +60,8 @@ func benchFabrics(tb testing.TB, g *topology.Graph, procs int) map[string]Router
 	}
 }
 
-func benchSimulate(b *testing.B, sim func(*Network, Router, []Flow) (Result, error)) {
-	for _, procs := range []int{256, 1024} {
+func benchSimulate(b *testing.B, procs []int, sim func(*Network, Router, []Flow) (Result, error)) {
+	for _, procs := range procs {
 		g, flows := haloTraffic(b, procs)
 		routers := benchFabrics(b, g, procs)
 		for _, name := range []string{"hfast", "fattree", "mesh"} {
@@ -79,14 +80,21 @@ func benchSimulate(b *testing.B, sim func(*Network, Router, []Flow) (Result, err
 }
 
 // BenchmarkSimulate measures the incremental event-driven engine on halo
-// traffic at the model-study (P=256) and ultra (P=1024) scales.
+// traffic at the model-study (P=256) and ultra (P=1024) scales;
+// HFAST_TEST_ULTRA=1 adds the partitioned-engine target scales P=4096
+// and P=16384 (the reference solver never runs there — its quadratic
+// event cost would take hours).
 func BenchmarkSimulate(b *testing.B) {
-	benchSimulate(b, Simulate)
+	procs := []int{256, 1024}
+	if os.Getenv("HFAST_TEST_ULTRA") != "" {
+		procs = append(procs, 4096, 16384)
+	}
+	benchSimulate(b, procs, Simulate)
 }
 
 // BenchmarkSimulateReference measures the retired whole-network
 // water-filling solver on the same traffic, for old-vs-new deltas
 // (BENCH_PR4.json).
 func BenchmarkSimulateReference(b *testing.B) {
-	benchSimulate(b, simulateReference)
+	benchSimulate(b, []int{256, 1024}, simulateReference)
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+
+	"github.com/hfast-sim/hfast/internal/par"
 )
 
 // completionEpsilon is the sub-byte residue treated as "finished".
@@ -13,28 +16,22 @@ import (
 // engines share the constant so their retirement behavior matches.
 const completionEpsilon = 1e-3
 
-// superFlow is one simulated unit: weight identical application flows
-// (same src, dst, start time, size — and therefore the same path)
-// coalesced so the event loop and the water-filling solver see one flow
-// where the input had many. Every constituent receives the same max-min
-// share, so they finish together and the super-flow's result fans back
-// out to each original flow index.
+// superFlow is one simulated unit: identical application flows (same
+// src, dst, start time, size — and therefore the same path) coalesced so
+// the event loop and the water-filling solver see one flow where the
+// input had many. Every constituent receives the same max-min share, so
+// they finish together and the super-flow's result fans back out through
+// the engine's raw-flow index map. Only cold, per-run-constant data
+// lives here; everything the hot loops touch (rate, remaining, weight,
+// seq, done) is structure-of-arrays state on the engine, so the inner
+// scans walk dense float/int arrays instead of striding through structs.
 type superFlow struct {
 	start   float64
 	bytes   float64 // per-constituent size
-	weight  int     // coalesced input flows
 	path    []int
-	linkPos []int32 // position of this flow's entry in engine.linkFlows[path[k]]
+	linkPos []int32 // position of this flow's entry in link's active segment
 	latency float64
-	orig    []int32 // original flow indices
-
-	remaining float64 // per-constituent bytes left, valid at lastT
-	rate      float64 // current per-constituent max-min share
-	lastT     float64 // time remaining was last settled
-	seq       int32   // generation of the flow's live heap entry
-	active    bool
-	done      bool
-	finish    float64
+	finish  float64
 }
 
 // heapEntry is a projected completion. Entries are invalidated lazily:
@@ -55,15 +52,16 @@ func heapLess(a, b heapEntry) bool {
 	return a.flow < b.flow
 }
 
-// linkRef is one active flow's membership in a link's index set; slot is
-// the index of the link within the flow's path, so removals can fix up
-// the moved entry's back-pointer in O(1).
+// linkRef is one active flow's membership in a link's index segment;
+// slot is the index of the link within the flow's path, so removals can
+// fix up the moved entry's back-pointer in O(1).
 type linkRef struct{ flow, slot int32 }
 
-// engine is the incremental event-driven simulator state. All scratch
-// slices are preallocated at construction and reused across events — the
-// hot loop allocates only when the completion heap or a link's index set
-// outgrows its previous high-water mark.
+// engine is the incremental event-driven simulator state. Everything is
+// arena-style: every slice (including the coalescing map and the heap
+// backing array) lives on the engine, is grown to high-water marks, and
+// is reused across Simulate calls through enginePool, so a replay at a
+// size the pool has seen before allocates only what the routers return.
 //
 // Between events the engine maintains, per link, the consumed bandwidth
 // (linkS), the residual slack (linkResid) and the largest per-share flow
@@ -73,12 +71,28 @@ type linkRef struct{ flow, slot int32 }
 // via the max-min bottleneck property — that untouched flows keep their
 // rates.
 type engine struct {
-	net  *Network
 	sims []superFlow
 
-	linkFlows  [][]linkRef // active flows per link
-	linkWeight []int       // total active weight per link
-	heap       []heapEntry
+	// Hot per-flow state, indexed by super-flow.
+	remaining []float64 // per-constituent bytes left, valid at lastT
+	rate      []float64 // current per-constituent max-min share
+	lastT     []float64 // time remaining was last settled
+	weight    []int32   // coalesced input flows
+	seq       []int32   // generation of the flow's live heap entry
+	done      []bool
+	flowShard []int32 // region whose links cover the whole path, or -1
+
+	// Per-link state. Active flows live in refs[linkOff[l]:][:linkLen[l]],
+	// a CSR-style segment sized at build time to the link's static
+	// membership count, so admit/retire never reallocate.
+	linkBW     []float64
+	refs       []linkRef
+	linkOff    []int32
+	linkLen    []int32
+	linkWeight []int32
+	posSlab    []int32
+
+	heap []heapEntry
 
 	now         float64
 	activeCount int
@@ -101,124 +115,313 @@ type engine struct {
 
 	// Water-filling scratch.
 	linkCap   []float64
-	linkW     []int
+	linkW     []int32
 	fixedMark []int32 // flow fixed during this epoch's solve
 	newRate   []float64
 	oldRate   []float64 // rate at the moment the flow joined A
 	chkMark   []int32   // flow witness-checked this pass
 	chkEpoch  int32
+
+	// Region sharding (shard.go). nShards > 1 turns on the sharded
+	// water-fill for large affected sets: the affected set is split into
+	// region-granular connected components that fill concurrently.
+	nShards       int
+	linkRegion    []int32 // region id per link, or -1 (hinter-owned)
+	solveEpoch    int32
+	ufParent      []int32 // union-find over regions + boundary flows
+	linkOwner     []int32 // first boundary flow seen on a regionless link
+	linkOwnerMark []int32
+	rootComp      []int32 // union-find root → dense component id
+	rootCompMark  []int32
+	compFlowsB    [][]int32 // per-component flow buckets
+	compLinksB    [][]int32 // per-component link buckets
+	fillLinks     []int32   // flat fill's compactable copy of the queue
+
+	// Build scratch for SimulateInto, reused across calls.
+	groups    map[groupKey]int32
+	paths     [][]int
+	lats      []float64
+	routedOK  []bool
+	simIdx    []int32 // raw flow → super-flow (-1 when unroutable)
+	linkBytes []float64
+	order     []int32
+}
+
+// groupKey identifies a coalescing group. The key includes the size:
+// flows differing only in bytes share a path but finish at different
+// times, so they stay separate.
+type groupKey struct {
+	src, dst int
+	start    float64
+	bytes    int64
+}
+
+// enginePool recycles engines — and with them every scratch slice, the
+// heap backing array, and the coalescing map — across Simulate calls.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // Simulate runs the progressive-filling model: at every arrival or
 // completion event, active flows get max-min fair shares of their path
 // bandwidth. The engine is incremental — see the package comment — and
 // its results match simulateReference's whole-network recomputation to
-// float-rounding noise.
+// float-rounding noise. When the router implements RegionHinter and the
+// network is large enough, the heavy water-fills run region-sharded over
+// par workers; results are bit-identical at any GOMAXPROCS.
 func Simulate(net *Network, router Router, flows []Flow) (Result, error) {
-	res := Result{Flows: make([]FlowResult, len(flows))}
-	linkBytes := make([]float64, net.Links())
-
-	// Coalesce identical flows into weighted super-flows. The key
-	// includes the size: flows differing only in bytes share a path but
-	// finish at different times, so they stay separate.
-	type groupKey struct {
-		src, dst int
-		start    float64
-		bytes    int64
-	}
-	groups := make(map[groupKey]int32, len(flows))
-	sims := make([]superFlow, 0, len(flows))
-	for i, f := range flows {
-		if f.Bytes < 0 {
-			return Result{}, fmt.Errorf("netsim: flow %d has negative size", i)
-		}
-		path, lat, ok := router.Route(f.Src, f.Dst)
-		if !ok {
-			res.Flows[i] = FlowResult{Finish: -1}
-			res.Unroutable++
-			continue
-		}
-		for _, l := range path {
-			if l < 0 || l >= net.Links() {
-				return Result{}, fmt.Errorf("netsim: flow %d routed over unknown link %d", i, l)
-			}
-			linkBytes[l] += float64(f.Bytes)
-		}
-		k := groupKey{f.Src, f.Dst, f.Start, f.Bytes}
-		if gi, ok := groups[k]; ok {
-			sf := &sims[gi]
-			sf.weight++
-			sf.orig = append(sf.orig, int32(i))
-			continue
-		}
-		groups[k] = int32(len(sims))
-		sims = append(sims, superFlow{
-			start: f.Start, bytes: float64(f.Bytes), weight: 1,
-			path: path, latency: lat,
-			orig:      []int32{int32(i)},
-			remaining: float64(f.Bytes),
-			finish:    -1,
-		})
-	}
-
-	e := newEngine(net, sims)
-	if err := e.run(); err != nil {
+	var res Result
+	if err := SimulateInto(&res, net, router, flows); err != nil {
 		return Result{}, err
-	}
-
-	for gi := range sims {
-		sf := &sims[gi]
-		for _, oi := range sf.orig {
-			res.Flows[oi] = FlowResult{Finish: sf.finish, Routed: sf.finish >= 0}
-		}
-		if sf.finish > res.Makespan {
-			res.Makespan = sf.finish
-		}
-	}
-	for _, b := range linkBytes {
-		if b > res.MaxLinkBytes {
-			res.MaxLinkBytes = b
-		}
 	}
 	return res, nil
 }
 
-func newEngine(net *Network, sims []superFlow) *engine {
+// SimulateInto is Simulate reusing the caller's Result: res.Flows is
+// resliced in place when its capacity suffices, so replay loops (the
+// pipeline Netsim stage, benchmarks) can pool Result values and stop
+// paying one FlowResult slice per call. On error *res is untouched.
+func SimulateInto(res *Result, net *Network, router Router, flows []Flow) error {
+	var regions []int32
+	if rh, ok := router.(RegionHinter); ok {
+		if t := regionTarget(net.Links()); t > 1 {
+			regions = rh.LinkRegions(t)
+		}
+	}
+	return simulateRegions(res, net, router, flows, regions)
+}
+
+// simulateRegions is the full engine entry point: regions is the
+// per-link region id slice (nil for unsharded; see RegionHinter for the
+// contract). Tests drive it directly with explicit cuts.
+func simulateRegions(res *Result, net *Network, router Router, flows []Flow, regions []int32) error {
+	e := enginePool.Get().(*engine)
+	defer e.release()
+	unroutable, maxLinkBytes, err := e.build(net, router, flows, regions)
+	if err != nil {
+		return err
+	}
+	if err := e.run(); err != nil {
+		return err
+	}
+
+	if cap(res.Flows) >= len(flows) {
+		res.Flows = res.Flows[:len(flows)]
+	} else {
+		res.Flows = make([]FlowResult, len(flows))
+	}
+	res.Makespan, res.Unroutable, res.MaxLinkBytes = 0, unroutable, maxLinkBytes
+	for i := range flows {
+		si := e.simIdx[i]
+		if si < 0 {
+			res.Flows[i] = FlowResult{Finish: -1}
+			continue
+		}
+		f := e.sims[si].finish
+		res.Flows[i] = FlowResult{Finish: f, Routed: f >= 0}
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	return nil
+}
+
+// build routes, validates, and coalesces the raw flows, then sizes every
+// engine array for the run. Routing is the only per-flow work with no
+// cross-flow dependency, so it fans out over par workers; validation,
+// byte accounting, and coalescing stay serial so error precedence and
+// float accumulation order never depend on the worker count.
+func (e *engine) build(net *Network, router Router, flows []Flow, regions []int32) (unroutable int, maxLinkBytes float64, err error) {
 	nLinks := net.Links()
-	e := &engine{
-		net:         net,
-		sims:        sims,
-		linkFlows:   make([][]linkRef, nLinks),
-		linkWeight:  make([]int, nLinks),
-		linkS:       make([]float64, nLinks),
-		linkResid:   make([]float64, nLinks),
-		linkMaxRate: make([]float64, nLinks),
-		linkMark:    make([]int32, nLinks),
-		linkPull:    make([]int32, nLinks),
-		flowMark:    make([]int32, len(sims)),
-		linkCap:     make([]float64, nLinks),
-		linkW:       make([]int, nLinks),
-		fixedMark:   make([]int32, len(sims)),
-		newRate:     make([]float64, len(sims)),
-		oldRate:     make([]float64, len(sims)),
-		chkMark:     make([]int32, len(sims)),
+	nf := len(flows)
+	e.paths = growPaths(e.paths, nf)
+	e.lats = growF64(e.lats, nf)
+	e.routedOK = growBool(e.routedOK, nf)
+	e.simIdx = growI32(e.simIdx, nf)
+	par.Ranges(nf, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.paths[i], e.lats[i], e.routedOK[i] = router.Route(flows[i].Src, flows[i].Dst)
+		}
+	})
+
+	e.linkBytes = growF64(e.linkBytes, nLinks)
+	clear(e.linkBytes)
+	if e.groups == nil {
+		e.groups = make(map[groupKey]int32, nf)
+	} else {
+		clear(e.groups)
 	}
+	e.sims = e.sims[:0]
+	e.weight = e.weight[:0]
+	pathTotal := 0
+	for i, f := range flows {
+		if f.Bytes < 0 {
+			return 0, 0, fmt.Errorf("netsim: flow %d has negative size", i)
+		}
+		if !e.routedOK[i] {
+			e.simIdx[i] = -1
+			unroutable++
+			continue
+		}
+		path := e.paths[i]
+		for _, l := range path {
+			if l < 0 || l >= nLinks {
+				return 0, 0, fmt.Errorf("netsim: flow %d routed over unknown link %d", i, l)
+			}
+			e.linkBytes[l] += float64(f.Bytes)
+		}
+		k := groupKey{f.Src, f.Dst, f.Start, f.Bytes}
+		if gi, ok := e.groups[k]; ok {
+			e.weight[gi]++
+			e.simIdx[i] = gi
+			continue
+		}
+		gi := int32(len(e.sims))
+		e.groups[k] = gi
+		e.simIdx[i] = gi
+		e.sims = append(e.sims, superFlow{
+			start: f.Start, bytes: float64(f.Bytes),
+			path: path, latency: e.lats[i], finish: -1,
+		})
+		e.weight = append(e.weight, 1)
+		pathTotal += len(path)
+	}
+	for _, b := range e.linkBytes[:nLinks] {
+		if b > maxLinkBytes {
+			maxLinkBytes = b
+		}
+	}
+
+	ns := len(e.sims)
+	e.remaining = growF64(e.remaining, ns)
+	e.rate = growF64(e.rate, ns)
+	e.lastT = growF64(e.lastT, ns)
+	e.seq = growI32(e.seq, ns)
+	e.done = growBool(e.done, ns)
+	e.newRate = growF64(e.newRate, ns)
+	e.oldRate = growF64(e.oldRate, ns)
+	e.flowShard = growI32(e.flowShard, ns)
+	for i := range e.sims {
+		e.remaining[i] = e.sims[i].bytes
+		e.rate[i], e.lastT[i] = 0, 0
+		e.seq[i] = 0
+		e.done[i] = false
+	}
+
+	// Epoch-stamped scratch: stamps from earlier runs are stale but can
+	// never collide while epochs only grow, so reused memory needs no
+	// clearing. Grown memory arrives zeroed, which reads as "epoch 0" —
+	// keep real epochs strictly positive.
+	if e.epoch > 1<<30 || e.chkEpoch > 1<<30 || e.solveEpoch > 1<<30 {
+		e.epoch, e.chkEpoch, e.solveEpoch = 0, 0, 0
+		clearI32 := func(s []int32) { clear(s[:cap(s)]) }
+		clearI32(e.linkMark[:0])
+		clearI32(e.linkPull[:0])
+		clearI32(e.flowMark[:0])
+		clearI32(e.fixedMark[:0])
+		clearI32(e.chkMark[:0])
+		clearI32(e.linkOwnerMark[:0])
+		clearI32(e.rootCompMark[:0])
+	}
+	e.flowMark = growI32(e.flowMark, ns)
+	e.fixedMark = growI32(e.fixedMark, ns)
+	e.chkMark = growI32(e.chkMark, ns)
+
+	e.linkBW = growF64(e.linkBW, nLinks)
+	e.linkS = growF64(e.linkS, nLinks)
+	e.linkResid = growF64(e.linkResid, nLinks)
+	e.linkMaxRate = growF64(e.linkMaxRate, nLinks)
+	e.linkOff = growI32(e.linkOff, nLinks)
+	e.linkLen = growI32(e.linkLen, nLinks)
+	e.linkWeight = growI32(e.linkWeight, nLinks)
+	e.linkCap = growF64(e.linkCap, nLinks)
+	e.linkW = growI32(e.linkW, nLinks)
+	e.linkMark = growI32(e.linkMark, nLinks)
+	e.linkPull = growI32(e.linkPull, nLinks)
+	e.linkOwner = growI32(e.linkOwner, nLinks)
+	e.linkOwnerMark = growI32(e.linkOwnerMark, nLinks)
 	for l := 0; l < nLinks; l++ {
-		e.linkResid[l] = net.links[l].Bandwidth
+		bw := net.links[l].Bandwidth
+		e.linkBW[l] = bw
+		e.linkS[l] = 0
+		e.linkResid[l] = bw
+		e.linkMaxRate[l] = 0
+		e.linkLen[l] = 0
+		e.linkWeight[l] = 0
 	}
-	// One slab backs every flow's link-position list.
-	total := 0
-	for i := range sims {
-		total += len(sims[i].path)
+
+	// CSR link membership: each link's segment capacity is its static
+	// flow count, so the active sets never move after this.
+	cnt := e.linkLen // reuse as a counter, reset below
+	for i := range e.sims {
+		for _, l := range e.sims[i].path {
+			cnt[l]++
+		}
 	}
-	slab := make([]int32, total)
-	off := 0
-	for i := range sims {
-		n := len(sims[i].path)
-		sims[i].linkPos = slab[off : off+n : off+n]
-		off += n
+	off := int32(0)
+	for l := 0; l < nLinks; l++ {
+		e.linkOff[l] = off
+		off += cnt[l]
+		cnt[l] = 0
 	}
-	return e
+	if cap(e.refs) < int(off) {
+		e.refs = make([]linkRef, off)
+	} else {
+		e.refs = e.refs[:off]
+	}
+	e.posSlab = growI32(e.posSlab, pathTotal)
+	po := 0
+	for i := range e.sims {
+		n := len(e.sims[i].path)
+		e.sims[i].linkPos = e.posSlab[po : po+n : po+n]
+		po += n
+	}
+
+	e.initShards(regions, nLinks)
+
+	e.heap = e.heap[:0]
+	e.queue, e.compFlows, e.seeds, e.moved = e.queue[:0], e.compFlows[:0], e.seeds[:0], e.moved[:0]
+	e.now, e.activeCount, e.events = 0, 0, 0
+	return unroutable, maxLinkBytes, nil
+}
+
+func growPaths(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	return s[:n]
+}
+
+// release scrubs the references into router-owned path memory so the
+// pooled engine never pins a previous run's routes, then returns the
+// engine to the pool.
+func (e *engine) release() {
+	for i := range e.sims {
+		e.sims[i].path = nil
+		e.sims[i].linkPos = nil
+	}
+	clear(e.paths)
+	e.linkRegion = nil
+	enginePool.Put(e)
 }
 
 // maxEventCap bounds the event loop. Every super-flow contributes one
@@ -234,16 +437,17 @@ func (e *engine) run() error {
 	// Arrival order: (start, flow index), matching the reference's
 	// stable sort. Zero-byte flows finish at start+latency without ever
 	// becoming active.
-	order := make([]int32, 0, len(e.sims))
+	e.order = e.order[:0]
 	for i := range e.sims {
 		sf := &e.sims[i]
 		if sf.bytes == 0 {
-			sf.done = true
+			e.done[i] = true
 			sf.finish = sf.start + sf.latency
 			continue
 		}
-		order = append(order, int32(i))
+		e.order = append(e.order, int32(i))
 	}
+	order := e.order
 	sort.SliceStable(order, func(a, b int) bool { return e.sims[order[a]].start < e.sims[order[b]].start })
 
 	maxEvents := maxEventCap(len(e.sims))
@@ -253,7 +457,7 @@ func (e *engine) run() error {
 		// earliest pending arrival or projected completion.
 		for len(e.heap) > 0 {
 			top := e.heap[0]
-			if sf := &e.sims[top.flow]; sf.seq == top.seq && !sf.done {
+			if e.seq[top.flow] == top.seq && !e.done[top.flow] {
 				break
 			}
 			e.heapPop()
@@ -284,8 +488,7 @@ func (e *engine) run() error {
 		e.seeds = e.seeds[:0]
 		for len(e.heap) > 0 {
 			top := e.heap[0]
-			sf := &e.sims[top.flow]
-			if sf.seq != top.seq || sf.done {
+			if e.seq[top.flow] != top.seq || e.done[top.flow] {
 				e.heapPop()
 				continue
 			}
@@ -306,48 +509,57 @@ func (e *engine) run() error {
 	}
 }
 
+// activeRefs is link l's active-flow segment.
+func (e *engine) activeRefs(l int32) []linkRef {
+	off := e.linkOff[l]
+	return e.refs[off : off+e.linkLen[l]]
+}
+
 // retire finalizes a flow at the current time: any sub-epsilon residue
 // is rounding noise from the projection, so remaining is forced to zero.
-// The flow leaves every per-link index set immediately — it can never be
+// The flow leaves every per-link segment immediately — it can never be
 // drained or counted again — and its links seed the next recompute.
 func (e *engine) retire(fi int32, seed bool) {
 	sf := &e.sims[fi]
-	sf.remaining = 0
-	sf.done = true
-	sf.active = false
+	e.remaining[fi] = 0
+	e.done[fi] = true
 	sf.finish = e.now + sf.latency
-	sf.seq++
+	e.seq[fi]++
 	e.activeCount--
+	w := e.weight[fi]
+	drop := float64(w) * e.rate[fi]
 	for k, l := range sf.path {
-		lst := e.linkFlows[l]
-		p := sf.linkPos[k]
-		last := int32(len(lst) - 1)
-		moved := lst[last]
-		lst[p] = moved
-		e.linkFlows[l] = lst[:last]
+		base := e.linkOff[l]
+		p := base + sf.linkPos[k]
+		last := base + e.linkLen[l] - 1
+		moved := e.refs[last]
+		e.refs[p] = moved
+		e.linkLen[l]--
 		if moved.flow != fi || moved.slot != int32(k) {
-			e.sims[moved.flow].linkPos[moved.slot] = p
+			e.sims[moved.flow].linkPos[moved.slot] = p - base
 		}
-		e.linkWeight[l] -= sf.weight
-		e.linkS[l] -= float64(sf.weight) * sf.rate
+		e.linkWeight[l] -= w
+		e.linkS[l] -= drop
 		if seed {
 			e.seeds = append(e.seeds, int32(l))
 		}
 	}
-	sf.rate = 0
+	e.rate[fi] = 0
 }
 
 // admit activates an arriving flow and seeds its links.
 func (e *engine) admit(fi int32) {
 	sf := &e.sims[fi]
-	sf.active = true
-	sf.rate = 0
-	sf.lastT = e.now
+	e.rate[fi] = 0
+	e.lastT[fi] = e.now
 	e.activeCount++
+	w := e.weight[fi]
 	for k, l := range sf.path {
-		sf.linkPos[k] = int32(len(e.linkFlows[l]))
-		e.linkFlows[l] = append(e.linkFlows[l], linkRef{flow: fi, slot: int32(k)})
-		e.linkWeight[l] += sf.weight
+		p := e.linkLen[l]
+		sf.linkPos[k] = p
+		e.refs[e.linkOff[l]+p] = linkRef{flow: fi, slot: int32(k)}
+		e.linkLen[l]++
+		e.linkWeight[l] += w
 		e.seeds = append(e.seeds, int32(l))
 	}
 }
@@ -363,13 +575,14 @@ const (
 
 // saturated reports whether link l has no meaningful slack left.
 func (e *engine) saturated(l int32) bool {
-	return e.linkResid[l] <= satSlack*e.net.links[l].Bandwidth
+	return e.linkResid[l] <= satSlack*e.linkBW[l]
 }
 
 // pullLink adds l to the solve set and pulls every flow on it into the
 // affected set A. Flows are only marked here; settleNew drains them to
 // the current time afterwards (settling can retire flows, which mutates
-// the very index sets being iterated, so the two steps stay separate).
+// the very index segments being iterated, so the two steps stay
+// separate).
 func (e *engine) pullLink(l int32) {
 	ep := e.epoch
 	if e.linkPull[l] == ep {
@@ -380,7 +593,7 @@ func (e *engine) pullLink(l int32) {
 		e.linkMark[l] = ep
 		e.queue = append(e.queue, l)
 	}
-	for _, ref := range e.linkFlows[l] {
+	for _, ref := range e.activeRefs(l) {
 		if e.flowMark[ref.flow] != ep {
 			e.flowMark[ref.flow] = ep
 			e.compFlows = append(e.compFlows, ref.flow)
@@ -396,20 +609,19 @@ func (e *engine) settleNew(settled int) int {
 	ep := e.epoch
 	for ; settled < len(e.compFlows); settled++ {
 		fi := e.compFlows[settled]
-		sf := &e.sims[fi]
-		if sf.done {
+		if e.done[fi] {
 			continue
 		}
-		if sf.rate > 0 && e.now > sf.lastT {
-			sf.remaining -= sf.rate * (e.now - sf.lastT)
+		if e.rate[fi] > 0 && e.now > e.lastT[fi] {
+			e.remaining[fi] -= e.rate[fi] * (e.now - e.lastT[fi])
 		}
-		sf.lastT = e.now
-		e.oldRate[fi] = sf.rate
-		if sf.remaining < completionEpsilon {
+		e.lastT[fi] = e.now
+		e.oldRate[fi] = e.rate[fi]
+		if e.remaining[fi] < completionEpsilon {
 			e.retire(fi, true)
 			continue
 		}
-		for _, l := range sf.path {
+		for _, l := range e.sims[fi].path {
 			if e.linkMark[l] != ep {
 				e.linkMark[l] = ep
 				e.queue = append(e.queue, int32(l))
@@ -419,31 +631,42 @@ func (e *engine) settleNew(settled int) int {
 	return settled
 }
 
-// solveAffected water-fills the affected flows over the solve-set links,
-// treating every frozen flow as fixed background consumption: a link's
-// residual capacity for the solve is its bandwidth minus the committed
-// consumption of flows outside A. The fix step is link-driven — every
-// affected flow crossing a within-epsilon bottleneck link is fixed at
-// the bottleneck share by walking those links' index sets — so a solve
-// costs O(|A|·pathlen + |T|·rounds), independent of network size.
+// solve water-fills the affected flows over the solve-set links. Small
+// affected sets — the steady state of the event loop — run the flat
+// serial fill; large ones (the t=0 admission storm, cascade avalanches)
+// run region-sharded over par workers when the fabric provided a
+// partition (shard.go).
+func (e *engine) solve() {
+	if e.nShards > 1 && len(e.compFlows) >= shardedSolveMin {
+		e.solveSharded()
+		return
+	}
+	e.solveAffected()
+}
+
+// solveAffected is the flat water-fill: every frozen flow is fixed
+// background consumption, so a link's capacity for the solve is its
+// bandwidth minus the committed consumption of flows outside A. The fix
+// step is link-driven — every affected flow crossing a within-epsilon
+// bottleneck link is fixed at the bottleneck share by walking those
+// links' segments — so a solve costs O(|A|·pathlen + |T|·rounds),
+// independent of network size.
 func (e *engine) solveAffected() {
-	ep := e.epoch
 	for _, l := range e.queue {
-		e.linkCap[l] = e.net.links[l].Bandwidth - e.linkS[l]
+		e.linkCap[l] = e.linkBW[l] - e.linkS[l]
 		e.linkW[l] = 0
 	}
 	live := 0
 	for _, fi := range e.compFlows {
-		sf := &e.sims[fi]
-		if sf.done {
+		if e.done[fi] {
 			continue
 		}
 		live++
 		e.fixedMark[fi] = 0
-		w := float64(sf.weight)
-		for _, l := range sf.path {
-			e.linkCap[l] += w * sf.rate
-			e.linkW[l] += sf.weight
+		w := float64(e.weight[fi])
+		for _, l := range e.sims[fi].path {
+			e.linkCap[l] += w * e.rate[fi]
+			e.linkW[l] += e.weight[fi]
 		}
 	}
 	for _, l := range e.queue {
@@ -451,12 +674,52 @@ func (e *engine) solveAffected() {
 			e.linkCap[l] = 0
 		}
 	}
+	e.fillLinks = append(e.fillLinks[:0], e.queue...)
+	e.fill(e.fillLinks, e.compFlows, live)
+}
+
+// fillParMin is the live link-list length above which fill's bottleneck
+// scan fans out over fixed par chunks (min is exact, so any chunking of
+// the reduction yields the identical bottleneck). A variable so tests
+// can force small fills through the parallel reduction.
+var fillParMin = 8192
+
+// fill runs bottleneck water-fill rounds over the given link list,
+// fixing every affected, unfixed flow it reaches. flows is the candidate
+// list the numerical-corner fallbacks iterate; live is the number of
+// fixable flows in it. fill owns links: links that lost their last
+// fixable flow are compacted out between rounds (order-preserving, so
+// fix order — and with it every float — matches the uncompacted scan),
+// which turns the admission-storm fill from O(|T|·rounds) into a scan
+// over a shrinking frontier.
+func (e *engine) fill(links, flows []int32, live int) {
+	ep := e.epoch
+	nl := len(links)
 	for live > 0 {
 		bottle := math.Inf(1)
-		for _, l := range e.queue {
-			if e.linkW[l] > 0 {
-				if s := e.linkCap[l] / float64(e.linkW[l]); s < bottle {
-					bottle = s
+		if nl >= fillParMin {
+			mins := par.MapChunks(nl, par.Chunk, func(lo, hi int) float64 {
+				m := math.Inf(1)
+				for _, l := range links[lo:hi] {
+					if e.linkW[l] > 0 {
+						if s := e.linkCap[l] / float64(e.linkW[l]); s < m {
+							m = s
+						}
+					}
+				}
+				return m
+			})
+			for _, m := range mins {
+				if m < bottle {
+					bottle = m
+				}
+			}
+		} else {
+			for _, l := range links[:nl] {
+				if e.linkW[l] > 0 {
+					if s := e.linkCap[l] / float64(e.linkW[l]); s < bottle {
+						bottle = s
+					}
 				}
 			}
 		}
@@ -464,50 +727,112 @@ func (e *engine) solveAffected() {
 			// Numerical corner: no capacity left anywhere; flows not yet
 			// fixed stall at zero rate (matching the reference, whose
 			// unfixed flows get no rate entry).
-			for _, fi := range e.compFlows {
-				if !e.sims[fi].done && e.fixedMark[fi] != ep {
+			for _, fi := range flows {
+				if !e.done[fi] && e.fixedMark[fi] != ep {
 					e.newRate[fi] = 0
 				}
 			}
 			return
 		}
 		progressed := false
-		for _, l := range e.queue {
-			if e.linkW[l] <= 0 || e.linkCap[l]/float64(e.linkW[l]) > bottle*(1+1e-12) {
+		w := 0
+		for _, l := range links[:nl] {
+			if e.linkW[l] <= 0 {
 				continue
 			}
-			for _, ref := range e.linkFlows[l] {
+			links[w] = l
+			w++
+			if e.linkCap[l]/float64(e.linkW[l]) > bottle*(1+1e-12) {
+				continue
+			}
+			for _, ref := range e.activeRefs(l) {
 				fi := ref.flow
-				if e.flowMark[fi] != ep || e.fixedMark[fi] == ep || e.sims[fi].done {
+				if e.flowMark[fi] != ep || e.fixedMark[fi] == ep || e.done[fi] {
 					continue
 				}
 				e.fixedMark[fi] = ep
 				e.newRate[fi] = bottle
 				live--
 				progressed = true
-				sf := &e.sims[fi]
-				w := float64(sf.weight)
-				for _, l2 := range sf.path {
-					e.linkCap[l2] -= w * bottle
+				wf := float64(e.weight[fi])
+				for _, l2 := range e.sims[fi].path {
+					e.linkCap[l2] -= wf * bottle
 					if e.linkCap[l2] < 0 {
 						e.linkCap[l2] = 0
 					}
-					e.linkW[l2] -= sf.weight
+					e.linkW[l2] -= e.weight[fi]
 				}
 			}
 		}
+		nl = w
 		if !progressed {
 			// Unreachable in theory (the bottleneck link always has an
 			// unfixed flow); guard against float corners by fixing the
 			// stragglers at the bottleneck share, as the reference does.
-			for _, fi := range e.compFlows {
-				if !e.sims[fi].done && e.fixedMark[fi] != ep {
+			for _, fi := range flows {
+				if !e.done[fi] && e.fixedMark[fi] != ep {
 					e.newRate[fi] = bottle
 				}
 			}
 			return
 		}
 	}
+}
+
+// refreshChunk is the solve-set size above which the per-link
+// slack/max-rate refresh fans out over fixed par chunks. Below it the
+// serial loop is cheaper than any coordination.
+const refreshChunk = 2048
+
+// refreshQueue recomputes consumed/slack/max-rate for every solve-set
+// link from its active segment and records the links that actually moved
+// (in queue order, so the witness scan is deterministic). Each link's
+// sum walks its own segment, so chunks write disjoint state and the
+// per-chunk moved lists concatenate in chunk order — bit-identical at
+// any worker count.
+func (e *engine) refreshQueue() {
+	e.moved = e.moved[:0]
+	n := len(e.queue)
+	if n <= refreshChunk {
+		for _, l := range e.queue {
+			if e.refreshLink(l) {
+				e.moved = append(e.moved, l)
+			}
+		}
+		return
+	}
+	lists := par.MapChunks(n, refreshChunk, func(lo, hi int) []int32 {
+		var mv []int32
+		for _, l := range e.queue[lo:hi] {
+			if e.refreshLink(l) {
+				mv = append(mv, l)
+			}
+		}
+		return mv
+	})
+	for _, mv := range lists {
+		e.moved = append(e.moved, mv...)
+	}
+}
+
+// refreshLink recommits link l's consumed/slack/max-rate state and
+// reports whether the slack or top rate changed.
+func (e *engine) refreshLink(l int32) bool {
+	s, maxR := 0.0, 0.0
+	for _, ref := range e.activeRefs(l) {
+		r := e.rate[ref.flow]
+		s += float64(e.weight[ref.flow]) * r
+		if r > maxR {
+			maxR = r
+		}
+	}
+	resid := e.linkBW[l] - s
+	if resid < 0 {
+		resid = 0
+	}
+	changed := resid != e.linkResid[l] || maxR != e.linkMaxRate[l]
+	e.linkS[l], e.linkResid[l], e.linkMaxRate[l] = s, resid, maxR
+	return changed
 }
 
 // recompute re-solves max-min rates after an event, touching only the
@@ -534,56 +859,35 @@ func (e *engine) recompute() {
 	}
 
 	for pass := 0; ; pass++ {
-		e.solveAffected()
+		e.solve()
 
-		// Commit candidate rates and refresh consumed/slack/max-rate on
-		// every solve-set link, remembering which links actually moved.
+		// Commit candidate rates, then refresh consumed/slack/max-rate
+		// on every solve-set link — witness checks must never read a
+		// stale slack/max-rate for a link whose refresh is still pending
+		// in the same pass — remembering which links actually moved.
 		for _, fi := range e.compFlows {
-			sf := &e.sims[fi]
-			if !sf.done {
-				sf.rate = e.newRate[fi]
+			if !e.done[fi] {
+				e.rate[fi] = e.newRate[fi]
 			}
 		}
-		// Refresh every solve-set link first — witness checks must never
-		// read a stale slack/max-rate for a link whose refresh is still
-		// pending in the same pass — then scan the links that moved.
+		e.refreshQueue()
 		expanded := false
 		e.chkEpoch++
-		e.moved = e.moved[:0]
-		for _, l := range e.queue {
-			s, maxR := 0.0, 0.0
-			for _, ref := range e.linkFlows[l] {
-				r := e.sims[ref.flow].rate
-				s += float64(e.sims[ref.flow].weight) * r
-				if r > maxR {
-					maxR = r
-				}
-			}
-			resid := e.net.links[l].Bandwidth - s
-			if resid < 0 {
-				resid = 0
-			}
-			if resid != e.linkResid[l] || maxR != e.linkMaxRate[l] {
-				e.moved = append(e.moved, l)
-			}
-			e.linkS[l], e.linkResid[l], e.linkMaxRate[l] = s, resid, maxR
-		}
 		for _, l := range e.moved {
 			// Witness-check every flow on a moved link (frozen flows
 			// included: their certificate may have lived here).
-			for _, ref := range e.linkFlows[l] {
+			for _, ref := range e.activeRefs(l) {
 				fi := ref.flow
 				if e.chkMark[fi] == e.chkEpoch {
 					continue
 				}
 				e.chkMark[fi] = e.chkEpoch
-				sf := &e.sims[fi]
-				if sf.done || sf.rate <= 0 {
+				if e.done[fi] || e.rate[fi] <= 0 {
 					continue
 				}
 				witness := false
-				for _, l2 := range sf.path {
-					if e.saturated(int32(l2)) && e.linkMaxRate[l2] <= sf.rate*(1+rateBand) {
+				for _, l2 := range e.sims[fi].path {
+					if e.saturated(int32(l2)) && e.linkMaxRate[l2] <= e.rate[fi]*(1+rateBand) {
 						witness = true
 						break
 					}
@@ -594,7 +898,7 @@ func (e *engine) recompute() {
 				// No bottleneck witness: the flow deserves more, and the
 				// higher-rate flows on its saturated links are what block
 				// it — pull those links' flows into A and re-solve.
-				for _, l2 := range sf.path {
+				for _, l2 := range e.sims[fi].path {
 					if e.saturated(int32(l2)) {
 						e.pullLink(int32(l2))
 					}
@@ -617,34 +921,19 @@ func (e *engine) recompute() {
 		if pass > 64 {
 			// Pathological float corner: fall back to re-solving every
 			// active flow, which is always a valid affected set.
-			for l := int32(0); l < int32(len(e.linkFlows)); l++ {
-				if len(e.linkFlows[l]) > 0 {
+			for l := int32(0); l < int32(len(e.linkLen)); l++ {
+				if e.linkLen[l] > 0 {
 					e.pullLink(l)
 				}
 			}
 			settled = e.settleNew(settled)
 			e.solveAffected()
 			for _, fi := range e.compFlows {
-				sf := &e.sims[fi]
-				if !sf.done {
-					sf.rate = e.newRate[fi]
+				if !e.done[fi] {
+					e.rate[fi] = e.newRate[fi]
 				}
 			}
-			for _, l := range e.queue {
-				s, maxR := 0.0, 0.0
-				for _, ref := range e.linkFlows[l] {
-					r := e.sims[ref.flow].rate
-					s += float64(e.sims[ref.flow].weight) * r
-					if r > maxR {
-						maxR = r
-					}
-				}
-				resid := e.net.links[l].Bandwidth - s
-				if resid < 0 {
-					resid = 0
-				}
-				e.linkS[l], e.linkResid[l], e.linkMaxRate[l] = s, resid, maxR
-			}
+			e.refreshQueue()
 			break
 		}
 	}
@@ -652,13 +941,12 @@ func (e *engine) recompute() {
 	// Re-project only the flows whose rate actually changed; everyone
 	// else's heap entry is still the correct completion time.
 	for _, fi := range e.compFlows {
-		sf := &e.sims[fi]
-		if sf.done || sf.rate == e.oldRate[fi] {
+		if e.done[fi] || e.rate[fi] == e.oldRate[fi] {
 			continue
 		}
-		sf.seq++
-		if sf.rate > 0 {
-			e.heapPush(heapEntry{t: e.now + sf.remaining/sf.rate, flow: fi, seq: sf.seq})
+		e.seq[fi]++
+		if e.rate[fi] > 0 {
+			e.heapPush(heapEntry{t: e.now + e.remaining[fi]/e.rate[fi], flow: fi, seq: e.seq[fi]})
 		}
 	}
 }

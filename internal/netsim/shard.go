@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"github.com/hfast-sim/hfast/internal/par"
+)
+
+// RegionHinter is implemented by routers (the fabric models) that can
+// partition their links into topology-aware regions: fat-tree and tree
+// subtrees, torus blocks, HFAST node blocks. LinkRegions returns one
+// region id per link — dense small ids, roughly the requested target
+// count — or -1 for links that belong to no region (boundary links
+// shared across the cut).
+//
+// The hint drives the engine's sharded water-fill: a large affected set
+// is split into connected components at region granularity (a flow whose
+// path stays inside one region ties only that region; flows over
+// boundary or cross-region links merge every region they touch), and the
+// components — provably independent subsystems of the max-min solve —
+// fill concurrently over par workers. The hint is purely a performance
+// contract: component structure depends on the topology and the traffic,
+// never on the worker count, so results are bit-identical at any
+// GOMAXPROCS, and parity/fuzz tests drive the engine with randomized
+// cuts to pin that the cut never changes results beyond float rounding.
+type RegionHinter interface {
+	LinkRegions(target int) []int32
+}
+
+// regionTarget picks how many regions to ask a fabric for: enough that
+// clean cuts split the big admission-storm water-fills into useful
+// independent pieces, few enough that a region still holds hundreds of
+// links. A pure function of the link count — never of GOMAXPROCS — so
+// the shard structure, and with it every float, is identical at any
+// parallelism.
+func regionTarget(nLinks int) int {
+	t := nLinks / 512
+	if t > 256 {
+		t = 256
+	}
+	return t
+}
+
+// shardedSolveMin is the affected-set size below which the sharded
+// water-fill is not worth its partitioning pass. The steady state of the
+// event loop — cascades of a dozen flows — stays on the flat fill;
+// admission storms and avalanche cascades go sharded. A variable so
+// parity/fuzz tests can force tiny solves through the sharded path.
+var shardedSolveMin = 1024
+
+// maxShardRegions bounds the region id space a hinter may use; a hint
+// that would need a larger union-find table than this is ignored.
+const maxShardRegions = 4096
+
+// initShards digests a RegionHinter's per-link regions into the static
+// shard state: the region id per link and, per super-flow, the region
+// whose links cover its whole path (-1 for boundary flows). Out-of-range
+// ids disable sharding rather than corrupt it.
+func (e *engine) initShards(regions []int32, nLinks int) {
+	e.nShards = 0
+	e.linkRegion = nil
+	if len(regions) != nLinks {
+		return
+	}
+	nr := int32(0)
+	for _, r := range regions {
+		if r >= nr {
+			nr = r + 1
+		}
+	}
+	if nr < 2 || nr > maxShardRegions {
+		return
+	}
+	for i := range e.sims {
+		shard := int32(-1)
+		for k, l := range e.sims[i].path {
+			r := regions[l]
+			if r < 0 {
+				shard = -1
+				break
+			}
+			if k == 0 {
+				shard = r
+			} else if r != shard {
+				shard = -1
+				break
+			}
+		}
+		e.flowShard[i] = shard
+	}
+	e.nShards = int(nr)
+	e.linkRegion = regions
+}
+
+// ufFind is the union-find lookup (path halving) over e.ufParent.
+func (e *engine) ufFind(x int32) int32 {
+	for e.ufParent[x] != x {
+		e.ufParent[x] = e.ufParent[e.ufParent[x]]
+		x = e.ufParent[x]
+	}
+	return x
+}
+
+func (e *engine) ufUnion(a, b int32) {
+	ra, rb := e.ufFind(a), e.ufFind(b)
+	if ra != rb {
+		e.ufParent[rb] = ra
+	}
+}
+
+// solveSharded is the region-sharded water-fill for large affected sets.
+// It prepares capacities exactly like solveAffected, then partitions the
+// affected flows and solve-set links into connected components at region
+// granularity: an interior flow ties its region, a boundary flow unions
+// every region its path touches, and flows meeting on a regionless (-1)
+// link union through that link. Components are disjoint in both links
+// and flows, so the max-min fill over their union equals the fills over
+// each component run independently — that is what makes running them in
+// parallel exact, not approximate. Flows whose boundary couplings chain
+// every region together collapse to one component and solve flat; the
+// recompute witness pass downstream reconciles shard results against the
+// frozen background either way, re-triggering exactly the flows whose
+// boundary slack the solve moved.
+func (e *engine) solveSharded() {
+	for _, l := range e.queue {
+		e.linkCap[l] = e.linkBW[l] - e.linkS[l]
+		e.linkW[l] = 0
+	}
+	live := 0
+	for _, fi := range e.compFlows {
+		if e.done[fi] {
+			continue
+		}
+		live++
+		e.fixedMark[fi] = 0
+		w := float64(e.weight[fi])
+		for _, l := range e.sims[fi].path {
+			e.linkCap[l] += w * e.rate[fi]
+			e.linkW[l] += e.weight[fi]
+		}
+	}
+	for _, l := range e.queue {
+		if e.linkCap[l] < 0 {
+			e.linkCap[l] = 0
+		}
+	}
+
+	// Union regions into components. Boundary flows get one union-find
+	// element each, tacked after the region ids.
+	e.solveEpoch++
+	sep := e.solveEpoch
+	nb := 0
+	for _, fi := range e.compFlows {
+		if !e.done[fi] && e.flowShard[fi] < 0 {
+			nb++
+		}
+	}
+	nElems := e.nShards + nb
+	e.ufParent = growI32(e.ufParent, nElems)
+	for i := range e.ufParent {
+		e.ufParent[i] = int32(i)
+	}
+	be := int32(e.nShards)
+	for _, fi := range e.compFlows {
+		if e.done[fi] || e.flowShard[fi] >= 0 {
+			continue
+		}
+		elem := be
+		be++
+		for _, l := range e.sims[fi].path {
+			if r := e.linkRegion[l]; r >= 0 {
+				e.ufUnion(elem, r)
+			} else if e.linkOwnerMark[l] == sep {
+				e.ufUnion(elem, e.linkOwner[l])
+			} else {
+				e.linkOwnerMark[l] = sep
+				e.linkOwner[l] = elem
+			}
+		}
+	}
+
+	// Bucket flows and links by component root, dense ids in discovery
+	// order so the grouping is deterministic.
+	e.rootComp = growI32(e.rootComp, nElems)
+	e.rootCompMark = growI32(e.rootCompMark, nElems)
+	nComp := int32(0)
+	comp := func(root int32) int32 {
+		if e.rootCompMark[root] != sep {
+			e.rootCompMark[root] = sep
+			e.rootComp[root] = nComp
+			nComp++
+		}
+		return e.rootComp[root]
+	}
+	e.compFlowsB = e.compFlowsB[:0]
+	e.compLinksB = e.compLinksB[:0]
+	bucket := func(lists [][]int32, c int32, v int32) [][]int32 {
+		for int32(len(lists)) <= c {
+			lists = append(lists, nil)
+		}
+		lists[c] = append(lists[c], v)
+		return lists
+	}
+	be = int32(e.nShards)
+	for _, fi := range e.compFlows {
+		if e.done[fi] {
+			continue
+		}
+		elem := e.flowShard[fi]
+		if elem < 0 {
+			elem = be
+			be++
+		}
+		e.compFlowsB = bucket(e.compFlowsB, comp(e.ufFind(elem)), fi)
+	}
+	if nComp < 2 {
+		e.fillLinks = append(e.fillLinks[:0], e.queue...)
+		e.fill(e.fillLinks, e.compFlows, live)
+		return
+	}
+	for _, l := range e.queue {
+		if e.linkW[l] <= 0 {
+			// No fillable flows: the link cannot shape any rate this
+			// solve, so no component needs to scan it.
+			continue
+		}
+		elem := e.linkRegion[l]
+		if elem < 0 {
+			elem = e.linkOwner[l] // stamped above: the link has live flows
+		}
+		e.compLinksB = bucket(e.compLinksB, comp(e.ufFind(elem)), int32(l))
+	}
+
+	// Fill the components concurrently. Each component's slices are its
+	// own; linkCap/linkW/newRate/fixedMark entries are disjoint across
+	// components, so the workers never share mutable state.
+	flowsB, linksB := e.compFlowsB, e.compLinksB
+	for int32(len(linksB)) < nComp {
+		linksB = append(linksB, nil)
+	}
+	par.Ranges(int(nComp), 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			e.fill(linksB[c], flowsB[c], len(flowsB[c]))
+		}
+	})
+	e.compLinksB = linksB
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// forceSharded drops the sharded-solve and parallel-reduction thresholds
+// so the small test grids exercise the region-sharded machinery, and
+// restores them on cleanup.
+func forceSharded(t *testing.T) {
+	t.Helper()
+	prevMin, prevPar := shardedSolveMin, fillParMin
+	shardedSolveMin, fillParMin = 2, 4
+	t.Cleanup(func() { shardedSolveMin, fillParMin = prevMin, prevPar })
+}
+
+// randomCut draws an adversarial region assignment: every link gets a
+// random region in [0,nr), with one in eight links regionless (-1). With
+// links scattered like this nearly every multi-hop flow crosses a cut,
+// so the partitioner sees boundary flows on every boundary and most
+// components collapse through the union-find — the worst case for the
+// sharded solve, which must still match the flat engine.
+func randomCut(rng *rand.Rand, nLinks, nr int) []int32 {
+	regions := make([]int32, nLinks)
+	for i := range regions {
+		if rng.Intn(8) == 0 {
+			regions[i] = -1
+		} else {
+			regions[i] = int32(rng.Intn(nr))
+		}
+	}
+	return regions
+}
+
+// TestSimulateShardedCutParity pins the region-sharded engine against the
+// reference solver under region cuts the fabrics would never produce:
+// random per-link regions (boundary flows everywhere) and, where the
+// fabric implements RegionHinter, its own topology-aware cut. The cut is
+// a pure performance hint, so every cut must yield reference-parity
+// results.
+func TestSimulateShardedCutParity(t *testing.T) {
+	forceSharded(t)
+	for _, app := range []string{"cactus", "gtc"} {
+		flows := steadyFlows(t, app, 64)
+		for name, router := range parityFabrics(t, app, 64) {
+			net := fabricNetwork(router)
+			want, err := simulateReference(net, router, flows)
+			if err != nil {
+				t.Fatalf("%s/%s: reference: %v", app, name, err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 3; trial++ {
+				regions := randomCut(rng, net.Links(), 2+rng.Intn(6))
+				var got Result
+				if err := simulateRegions(&got, net, router, flows, regions); err != nil {
+					t.Fatalf("%s/%s/cut%d: engine: %v", app, name, trial, err)
+				}
+				assertParity(t, fmt.Sprintf("%s/%s/cut%d", app, name, trial), got, want)
+			}
+			if rh, ok := router.(RegionHinter); ok {
+				var got Result
+				if err := simulateRegions(&got, net, router, flows, rh.LinkRegions(4)); err != nil {
+					t.Fatalf("%s/%s/hint: engine: %v", app, name, err)
+				}
+				assertParity(t, fmt.Sprintf("%s/%s/hint", app, name), got, want)
+			}
+		}
+	}
+}
+
+// TestSimulateWorkerCountDeterminism pins the engine's strongest claim:
+// the sharded solve, the chunked refresh, and the parallel bottleneck
+// reduction are bit-identical under GOMAXPROCS=1 and GOMAXPROCS=4,
+// because every partition — shard components, chunk grids — is a pure
+// function of the problem, never of the worker count.
+func TestSimulateWorkerCountDeterminism(t *testing.T) {
+	forceSharded(t)
+	flows := steadyFlows(t, "cactus", 64)
+	for name, router := range parityFabrics(t, "cactus", 64) {
+		net := fabricNetwork(router)
+		var regions []int32
+		if rh, ok := router.(RegionHinter); ok {
+			regions = rh.LinkRegions(8)
+		} else {
+			regions = randomCut(rand.New(rand.NewSource(3)), net.Links(), 8)
+		}
+		run := func(workers int) Result {
+			prev := runtime.GOMAXPROCS(workers)
+			defer runtime.GOMAXPROCS(prev)
+			var res Result
+			if err := simulateRegions(&res, net, router, flows, regions); err != nil {
+				t.Fatalf("%s (GOMAXPROCS=%d): %v", name, workers, err)
+			}
+			return res
+		}
+		r1, r4 := run(1), run(4)
+		if r1.Makespan != r4.Makespan || r1.Unroutable != r4.Unroutable || r1.MaxLinkBytes != r4.MaxLinkBytes {
+			t.Errorf("%s: header differs across worker counts: %+v vs %+v", name, r1, r4)
+		}
+		for i := range r1.Flows {
+			if r1.Flows[i] != r4.Flows[i] {
+				t.Fatalf("%s: flow %d differs across worker counts: %+v vs %+v",
+					name, i, r1.Flows[i], r4.Flows[i])
+			}
+		}
+	}
+}
+
+// TestRegionHinterShapes sanity-checks every fabric's LinkRegions
+// contract: one id per link, ids dense in [-1, target), and at least two
+// regions actually used at paper scale.
+func TestRegionHinterShapes(t *testing.T) {
+	for name, router := range parityFabrics(t, "cactus", 256) {
+		rh, ok := router.(RegionHinter)
+		if !ok {
+			t.Errorf("%s: fabric does not implement RegionHinter", name)
+			continue
+		}
+		net := fabricNetwork(router)
+		target := 8
+		regions := rh.LinkRegions(target)
+		if len(regions) != net.Links() {
+			t.Fatalf("%s: %d region ids for %d links", name, len(regions), net.Links())
+		}
+		used := map[int32]bool{}
+		for l, r := range regions {
+			// "Roughly target" regions: integer block shapes (torus cuts)
+			// may overshoot, but never by more than a factor of two.
+			if r < -1 || int(r) >= 2*target {
+				t.Fatalf("%s: link %d region %d out of [-1,%d)", name, l, r, 2*target)
+			}
+			if r >= 0 {
+				used[r] = true
+			}
+		}
+		if len(used) < 2 {
+			t.Errorf("%s: only %d regions used at target %d", name, len(used), target)
+		}
+	}
+}

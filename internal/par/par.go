@@ -9,6 +9,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // SerialThreshold is the input size below which Ranges runs inline: the
@@ -28,6 +29,113 @@ func Workers(n int) int {
 	}
 	return w
 }
+
+// Chunk is the fixed slice length ForChunks and MapChunks split over.
+// Chunk boundaries depend only on n — never on the worker count — so
+// per-chunk results can be reduced in chunk order, making float
+// arithmetic identical under GOMAXPROCS=1 and GOMAXPROCS=N.
+const Chunk = 2048
+
+// ForChunks splits [0,n) into fixed-size chunks and calls fn(ci, lo, hi)
+// for chunk ci covering [lo,hi), chunks spread across pooled workers.
+// Unlike Ranges the chunk grid is a pure function of n and chunk, so a
+// caller that writes per-chunk outputs and merges them by chunk index
+// gets bit-identical results at any parallelism. chunk ≤ 0 uses Chunk;
+// n ≤ chunk or a single worker runs inline on the calling goroutine.
+func ForChunks(n, chunk int, fn func(ci, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = Chunk
+	}
+	nc := (n + chunk - 1) / chunk
+	workers := Workers(nc)
+	if nc == 1 || workers == 1 {
+		for ci := 0; ci < nc; ci++ {
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(ci, lo, hi)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(atomic.AddInt64(&next, 1)) - 1
+				if ci >= nc {
+					return
+				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(ci, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapChunks runs fn over the same fixed chunk grid as ForChunks and
+// returns the per-chunk results in chunk order, ready for an in-order
+// (and therefore parallelism-independent) reduction.
+func MapChunks[R any](n, chunk int, fn func(lo, hi int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = Chunk
+	}
+	nc := (n + chunk - 1) / chunk
+	out := make([]R, nc)
+	ForChunks(n, chunk, func(ci, lo, hi int) { out[ci] = fn(lo, hi) })
+	return out
+}
+
+// Group is a reusable bounded worker group: Go schedules a task on at
+// most the configured number of concurrent goroutines, Wait blocks until
+// every scheduled task finished. After Wait the group can be reused for
+// the next phase, so a caller with several parallel stages pays for one
+// semaphore allocation total. The zero value is not usable; make one
+// with NewGroup.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewGroup returns a group running at most workers tasks concurrently
+// (minimum one).
+func NewGroup(workers int) *Group {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Group{sem: make(chan struct{}, workers)}
+}
+
+// Go schedules fn, blocking while the group is at its concurrency bound.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	g.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until all tasks scheduled so far have completed.
+func (g *Group) Wait() { g.wg.Wait() }
 
 // Ranges splits [0,n) into contiguous shards and calls fn(lo,hi) for each,
 // one shard per pooled worker. Shards are disjoint, so fn may write to

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -46,5 +47,119 @@ func TestWorkersBounds(t *testing.T) {
 	}
 	if w := Workers(1 << 20); w < 1 {
 		t.Errorf("Workers(big) = %d", w)
+	}
+	if w, mp := Workers(1<<20), runtime.GOMAXPROCS(0); w > mp {
+		t.Errorf("Workers(big) = %d exceeds GOMAXPROCS %d", w, mp)
+	}
+	if w := Workers(-5); w != 1 {
+		t.Errorf("Workers(-5) = %d", w)
+	}
+}
+
+func TestRangesZeroAndNegative(t *testing.T) {
+	calls := 0
+	Ranges(0, 0, func(lo, hi int) { calls++ })
+	Ranges(-3, 0, func(lo, hi int) { calls++ })
+	if calls != 0 {
+		t.Errorf("Ranges on empty input called fn %d times", calls)
+	}
+}
+
+// TestRangesSingleWorker pins the documented collapse: with one worker
+// available there is exactly one shard on the calling goroutine, even
+// for inputs far above the serial threshold.
+func TestRangesSingleWorker(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	calls := 0
+	Ranges(4*SerialThreshold, 0, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 4*SerialThreshold {
+			t.Errorf("single-worker shard [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("single worker split into %d shards", calls)
+	}
+}
+
+// TestRangesBelowMinNRunsInline covers the explicit-minN branch with
+// n strictly under it (n < minN, n > 0).
+func TestRangesBelowMinNRunsInline(t *testing.T) {
+	calls := 0
+	Ranges(1, 2, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 1 {
+			t.Errorf("shard [%d,%d), want [0,1)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("n<minN split into %d shards", calls)
+	}
+}
+
+func TestForChunksGridIsWorkerIndependent(t *testing.T) {
+	for _, n := range []int{0, 1, Chunk - 1, Chunk, Chunk + 1, 5*Chunk + 13} {
+		hits := make([]int32, n)
+		var chunks int32
+		ForChunks(n, 0, func(ci, lo, hi int) {
+			atomic.AddInt32(&chunks, 1)
+			if lo != ci*Chunk {
+				t.Errorf("n=%d: chunk %d starts at %d", n, ci, lo)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		want := int32((n + Chunk - 1) / Chunk)
+		if chunks != want {
+			t.Errorf("n=%d: %d chunks, want %d", n, chunks, want)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestMapChunksOrderedResults(t *testing.T) {
+	n, chunk := 1000, 64
+	sums := MapChunks(n, chunk, func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	})
+	if len(sums) != (n+chunk-1)/chunk {
+		t.Fatalf("got %d chunk results", len(sums))
+	}
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if total != n*(n-1)/2 {
+		t.Errorf("chunk sums total %d, want %d", total, n*(n-1)/2)
+	}
+	if MapChunks(0, chunk, func(lo, hi int) int { return 1 }) != nil {
+		t.Error("MapChunks(0) should be nil")
+	}
+}
+
+func TestGroupReuseAcrossPhases(t *testing.T) {
+	g := NewGroup(3)
+	var count int32
+	for phase := 0; phase < 3; phase++ {
+		for i := 0; i < 17; i++ {
+			g.Go(func() { atomic.AddInt32(&count, 1) })
+		}
+		g.Wait()
+		if got := atomic.LoadInt32(&count); got != int32((phase+1)*17) {
+			t.Fatalf("after phase %d: %d tasks ran", phase, got)
+		}
+	}
+	if g2 := NewGroup(0); cap(g2.sem) != 1 {
+		t.Errorf("NewGroup(0) concurrency %d, want 1", cap(g2.sem))
 	}
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"github.com/hfast-sim/hfast/internal/fattree"
 	"github.com/hfast-sim/hfast/internal/hfast"
@@ -12,6 +13,11 @@ import (
 	"github.com/hfast-sim/hfast/internal/topology"
 	"github.com/hfast-sim/hfast/internal/treenet"
 )
+
+// simPool recycles Result values across replays: the fabric studies
+// simulate the same flow counts over and over, so SimulateInto reuses
+// the pooled FlowResult slices instead of allocating one per run.
+var simPool = sync.Pool{New: func() any { return new(netsim.Result) }}
 
 // Fabric names accepted by the Netsim stage.
 const (
@@ -72,6 +78,8 @@ func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string
 	fail := func(err error) (*FabricResult, error) {
 		return nil, fmt.Errorf("pipeline: netsim %s on %s: %w", ref.describe(), fabric, err)
 	}
+	sim := simPool.Get().(*netsim.Result)
+	defer simPool.Put(sim)
 	switch fabric {
 	case FabricHFAST:
 		a, _, err := pl.Assignment(ctx, ref, Steady(), 0, hfast.DefaultBlockSize)
@@ -79,16 +87,15 @@ func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string
 			return nil, err
 		}
 		hn := netsim.NewHFASTNet(a, lp)
-		hres, err := netsim.Simulate(hn.Network(), hn, flows)
-		if err != nil {
+		if err := netsim.SimulateInto(sim, hn.Network(), hn, flows); err != nil {
 			return fail(err)
 		}
-		res.Makespan, res.Collective = hres.Makespan, hres.Unroutable
-		if hres.Unroutable > 0 {
+		res.Makespan, res.Collective = sim.Makespan, sim.Unroutable
+		if sim.Unroutable > 0 {
 			// Sub-threshold traffic rides the dedicated low-bandwidth
 			// tree (§2.4); simulate those flows there.
 			var small []netsim.Flow
-			for fi, fr := range hres.Flows {
+			for fi, fr := range sim.Flows {
 				if !fr.Routed {
 					small = append(small, flows[fi])
 				}
@@ -97,11 +104,10 @@ func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string
 			if err != nil {
 				return fail(err)
 			}
-			tres, err := netsim.Simulate(tn.Network(), tn, small)
-			if err != nil {
+			if err := netsim.SimulateInto(sim, tn.Network(), tn, small); err != nil {
 				return fail(err)
 			}
-			res.TreeTime = tres.Makespan
+			res.TreeTime = sim.Makespan
 		}
 	case FabricFCN:
 		tree, err := fattree.Design(prof.Procs, hfast.DefaultBlockSize)
@@ -109,22 +115,20 @@ func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string
 			return fail(err)
 		}
 		fn := netsim.NewFCNNet(prof.Procs, tree, lp)
-		fres, err := netsim.Simulate(fn.Network(), fn, flows)
-		if err != nil {
+		if err := netsim.SimulateInto(sim, fn.Network(), fn, flows); err != nil {
 			return fail(err)
 		}
-		res.Makespan = fres.Makespan
+		res.Makespan = sim.Makespan
 	case FabricMesh:
 		mesh, err := meshtorus.New(meshtorus.NearCube(prof.Procs, 3), true)
 		if err != nil {
 			return fail(err)
 		}
 		mn := netsim.NewMeshNet(mesh, lp)
-		mres, err := netsim.Simulate(mn.Network(), mn, flows)
-		if err != nil {
+		if err := netsim.SimulateInto(sim, mn.Network(), mn, flows); err != nil {
 			return fail(err)
 		}
-		res.Makespan = mres.Makespan
+		res.Makespan = sim.Makespan
 	default:
 		return nil, fmt.Errorf("pipeline: unknown fabric %q", fabric)
 	}

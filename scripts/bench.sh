@@ -2,11 +2,11 @@
 # bench.sh — run the fast-path benchmark suite and emit a JSON summary.
 #
 # Usage:
-#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline] [--cluster]
+#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline] [--cluster] [--netsim]
 #
-#   -o FILE     write the JSON summary to FILE (default: BENCH.json,
+#   -o FILE     write the JSON snapshot to FILE (default: BENCH_PR7.json,
 #               BENCH_PR5.json with --pipeline, BENCH_PR6.json with
-#               --cluster)
+#               --cluster, BENCH_PR7.json with --netsim)
 #   --smoke     run every benchmark exactly once (-benchtime=1x); useful as
 #               a CI canary that the suite still compiles and runs
 #   --pipeline  run only the artifact-pipeline cold/warm pair: a P=256
@@ -18,6 +18,16 @@
 #               rebuilding the same plan locally from scratch. Peer fill
 #               should land well under rebuild (one loopback HTTP fetch +
 #               artifact decode vs a full profile+assign+wire build)
+#   --netsim    run only the netsim engine benchmarks, with the ultra rows
+#               enabled (HFAST_TEST_ULTRA=1): the region-sharded engine
+#               replaying halo traffic at P=256/1024/4096/16384. The
+#               P=16384 rows are the partitioned engine's target scale and
+#               must complete (the retired reference solver is not run
+#               past P=1024; its quadratic event cost would take hours)
+#
+# Every run also regenerates BENCH.json: the consolidated trajectory of
+# all BENCH_PR*.json snapshots ({"trajectory": [{"tag": "PR2", ...}, ...]},
+# in PR order), so per-PR perf history diffs with a single jq query.
 #
 # The suite covers the layers the profiling fast path touches:
 #   internal/mpi         message matching and request lifecycle
@@ -43,17 +53,19 @@ out=""
 benchtime=""
 pipeline_only=""
 cluster_only=""
+netsim_only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     -o) out="$2"; shift 2 ;;
     --smoke) benchtime="-benchtime=1x"; shift ;;
     --pipeline) pipeline_only=1; shift ;;
     --cluster) cluster_only=1; shift ;;
-    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline] [--cluster]" >&2; exit 2 ;;
+    --netsim) netsim_only=1; shift ;;
+    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline] [--cluster] [--netsim]" >&2; exit 2 ;;
   esac
 done
 if [ -z "$out" ]; then
-  out="BENCH.json"
+  out="BENCH_PR7.json"
   [ -n "$pipeline_only" ] && out="BENCH_PR5.json"
   [ -n "$cluster_only" ] && out="BENCH_PR6.json"
 fi
@@ -67,7 +79,10 @@ run() { # run <package> <bench regexp>
     | awk -v pkg="$1" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
 }
 
-if [ -n "$cluster_only" ]; then
+if [ -n "$netsim_only" ]; then
+  export HFAST_TEST_ULTRA=1
+  run ./internal/netsim 'BenchmarkSimulate$'
+elif [ -n "$cluster_only" ]; then
   run ./internal/server 'BenchmarkClusterPeerFill$|BenchmarkClusterRebuild$'
 elif [ -n "$pipeline_only" ]; then
   run ./internal/pipeline 'BenchmarkPlanColdP256$|BenchmarkPlanWarmP256$'
@@ -105,3 +120,14 @@ END { printf "\n  ]\n}\n" }
 ' "$raw" >"$out"
 
 echo "wrote $out" >&2
+
+# Rebuild the consolidated trajectory: one tagged entry per PR snapshot,
+# in PR order, so history diffs with e.g.
+#   jq '.trajectory[] | {tag, n: [.benchmarks[] | select(.name | test("Simulate/"))]}' BENCH.json
+if ls BENCH_PR*.json >/dev/null 2>&1; then
+  for f in $(ls BENCH_PR*.json | sort -V); do
+    tag="${f#BENCH_}"
+    jq --arg tag "${tag%.json}" '{tag: $tag} + .' "$f"
+  done | jq -s '{trajectory: .}' >BENCH.json
+  echo "wrote BENCH.json ($(ls BENCH_PR*.json | wc -l) snapshots)" >&2
+fi
