@@ -18,13 +18,22 @@ import (
 	"os"
 
 	"github.com/hfast-sim/hfast/internal/experiments"
+	"github.com/hfast-sim/hfast/internal/prof"
 )
 
 func main() {
 	target := flag.String("t", "all", "artifact to regenerate")
 	steps := flag.Int("steps", 0, "steady-state steps per app run (0 = default)")
 	procs := flag.Int("p", 256, "process count for single-size artifacts")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	r := experiments.NewRunner(*steps)
 	w := os.Stdout
@@ -88,11 +97,20 @@ func main() {
 	} else {
 		targets = []string{*target}
 	}
+	code := 0
 	for _, t := range targets {
 		if err := run(t); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", t, err)
-			os.Exit(1)
+			code = 1
+			break
 		}
 		fmt.Fprintln(w)
 	}
+	// Flush the profiles even when a target failed: a stalled ultra run
+	// is exactly when the CPU profile matters.
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		code = 1
+	}
+	os.Exit(code)
 }

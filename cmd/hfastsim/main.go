@@ -18,6 +18,7 @@ import (
 
 	"github.com/hfast-sim/hfast/internal/apps"
 	"github.com/hfast-sim/hfast/internal/pipeline"
+	"github.com/hfast-sim/hfast/internal/prof"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload randomization seed")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	list := flag.Bool("list", false, "list available applications")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
@@ -46,10 +49,22 @@ func main() {
 	if _, err := apps.Lookup(*app); err != nil {
 		usageErr(fmt.Sprintf("%v (use -list to see choices)", err))
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hfastsim: %v\n", err)
+		os.Exit(1)
+	}
+	// Flush the profiles on every exit path: a run that died mid-skeleton
+	// is exactly when the CPU profile matters.
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hfastsim: "+format+"\n", args...)
+		_ = stopProf()
+		os.Exit(1)
+	}
 	// One-shot from the CLI, but routed through the pipeline's profile
 	// stage so the run is keyed and cached like every other producer.
 	pipe := pipeline.New(pipeline.Options{})
-	prof, _, err := pipe.Profile(context.Background(), pipeline.Spec(pipeline.ProfileSpec{
+	profile, _, err := pipe.Profile(context.Background(), pipeline.Spec(pipeline.ProfileSpec{
 		App:   *app,
 		Procs: *procs,
 		Steps: *steps,
@@ -57,21 +72,22 @@ func main() {
 		Seed:  *seed,
 	}))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hfastsim: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hfastsim: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := prof.WriteJSON(w); err != nil {
-		fmt.Fprintf(os.Stderr, "hfastsim: writing profile: %v\n", err)
+	if err := profile.WriteJSON(w); err != nil {
+		fatal("writing profile: %v", err)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "hfastsim: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -70,6 +70,31 @@ func UltraRows(r *Runner, appNames []string, sizes []int) ([]UltraRow, error) {
 	return rows, nil
 }
 
+// UltraFabricSizes is the grid the fabric-contention study replays:
+// the analysis sizes, extended to P=65536 — the component-parallel
+// scheduler's target scale — when HFAST_TEST_ULTRA=1 opts into the long
+// run. The six-app analysis grid stops at P=16384: the dense codes'
+// P² comparison matrices are infeasible past that, and the contention
+// study is the only consumer that scales further.
+func UltraFabricSizes() []int {
+	sizes := UltraSizes()
+	if os.Getenv("HFAST_TEST_ULTRA") != "" {
+		sizes = append(sizes, 65536)
+	}
+	return sizes
+}
+
+// UltraFabricAppsAt narrows the replayed skeletons at the extreme end of
+// the grid: past P=16384 only the halo skeleton replays — its bounded
+// degree keeps the flow count linear in P, while the gtc/lbmhd profile
+// builders spend minutes just materializing their traffic there.
+func UltraFabricAppsAt(procs int) []string {
+	if procs > 16384 {
+		return []string{"cactus"}
+	}
+	return UltraFabricApps()
+}
+
 // UltraFabricApps names the skeletons the ultra fabric-contention study
 // simulates: the bounded-degree codes, which the incremental engine
 // replays in tens of milliseconds at P=1024. The dense codes (superlu,
@@ -110,8 +135,8 @@ func Ultra(w io.Writer, r *Runner) error {
 	}
 	tbl.Write(w)
 
-	for _, fprocs := range sizes {
-		frows, err := NetsimRowsFor(r, UltraFabricApps(), fprocs)
+	for _, fprocs := range UltraFabricSizes() {
+		frows, err := NetsimRowsFor(r, UltraFabricAppsAt(fprocs), fprocs)
 		if err != nil {
 			return err
 		}

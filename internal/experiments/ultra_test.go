@@ -94,6 +94,34 @@ func TestUltraFabricRowsAtP16384(t *testing.T) {
 	}
 }
 
+// TestUltraFabricRowsAtP65536 drives the component-parallel scheduler at
+// the scale this PR titles: the halo skeleton's steady traffic at
+// P=65536 replayed to completion on all three contended fabric models.
+// Long (minutes on one core), so it only runs when HFAST_TEST_ULTRA=1
+// opts in.
+func TestUltraFabricRowsAtP65536(t *testing.T) {
+	if os.Getenv("HFAST_TEST_ULTRA") == "" {
+		t.Skip("set HFAST_TEST_ULTRA=1 for the P=65536 fabric study")
+	}
+	r := testRunner()
+	const procs = 65536
+	rows, err := NetsimRowsFor(r, UltraFabricAppsAt(procs), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (cactus only past P=16384)", len(rows))
+	}
+	for _, row := range rows {
+		if row.Procs != procs || row.Flows < procs {
+			t.Errorf("P=%d: bad row shape %+v", procs, row)
+		}
+		if row.HFAST <= 0 || row.FCN <= 0 || row.Mesh <= 0 {
+			t.Errorf("P=%d: non-positive makespan %+v", procs, row)
+		}
+	}
+}
+
 func TestUltraRenders(t *testing.T) {
 	if os.Getenv("HFAST_TEST_QUICK") != "" {
 		t.Skip("HFAST_TEST_QUICK set")

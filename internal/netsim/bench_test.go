@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"github.com/hfast-sim/hfast/internal/fattree"
@@ -81,15 +82,58 @@ func benchSimulate(b *testing.B, procs []int, sim func(*Network, Router, []Flow)
 
 // BenchmarkSimulate measures the incremental event-driven engine on halo
 // traffic at the model-study (P=256) and ultra (P=1024) scales;
-// HFAST_TEST_ULTRA=1 adds the partitioned-engine target scales P=4096
-// and P=16384 (the reference solver never runs there — its quadratic
-// event cost would take hours).
+// HFAST_TEST_ULTRA=1 adds the partitioned-engine target scales P=4096,
+// P=16384, and P=65536 (the reference solver never runs there — its
+// quadratic event cost would take hours).
 func BenchmarkSimulate(b *testing.B) {
 	procs := []int{256, 1024}
 	if os.Getenv("HFAST_TEST_ULTRA") != "" {
-		procs = append(procs, 4096, 16384)
+		procs = append(procs, 4096, 16384, 65536)
 	}
 	benchSimulate(b, procs, Simulate)
+}
+
+// TestSimulateUltraDeterminismAtP65536 pins the acceptance bar for the
+// component scheduler at the title scale: the P=65536 halo replay, with
+// starts staggered per source rank so thousands of components are born
+// and merged mid-run, completes on every fabric and is bitwise identical
+// across GOMAXPROCS={1,2,8}. Long (minutes), so it only runs when
+// HFAST_TEST_ULTRA=1 opts in.
+func TestSimulateUltraDeterminismAtP65536(t *testing.T) {
+	if os.Getenv("HFAST_TEST_ULTRA") == "" {
+		t.Skip("set HFAST_TEST_ULTRA=1 for the P=65536 determinism grid")
+	}
+	g, flows := haloTraffic(t, 65536)
+	for i := range flows {
+		flows[i].Start += float64(flows[i].Src%16) * 1e-4
+	}
+	routers := benchFabrics(t, g, 65536)
+	for _, name := range []string{"hfast", "fattree", "mesh"} {
+		router := routers[name]
+		net := fabricNetwork(router)
+		run := func(workers int) Result {
+			prev := runtime.GOMAXPROCS(workers)
+			defer runtime.GOMAXPROCS(prev)
+			res, err := Simulate(net, router, flows)
+			if err != nil {
+				t.Fatalf("%s (GOMAXPROCS=%d): %v", name, workers, err)
+			}
+			return res
+		}
+		r1 := run(1)
+		for _, workers := range []int{2, 8} {
+			rw := run(workers)
+			if r1.Makespan != rw.Makespan || r1.Unroutable != rw.Unroutable || r1.MaxLinkBytes != rw.MaxLinkBytes {
+				t.Errorf("%s: header differs at GOMAXPROCS=%d", name, workers)
+			}
+			for i := range r1.Flows {
+				if r1.Flows[i] != rw.Flows[i] {
+					t.Fatalf("%s: flow %d differs at GOMAXPROCS=%d: %+v vs %+v",
+						name, i, workers, r1.Flows[i], rw.Flows[i])
+				}
+			}
+		}
+	}
 }
 
 // BenchmarkSimulateReference measures the retired whole-network

@@ -3,7 +3,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"github.com/hfast-sim/hfast/internal/par"
@@ -57,9 +56,57 @@ func heapLess(a, b heapEntry) bool {
 // fix up the moved entry's back-pointer in O(1).
 type linkRef struct{ flow, slot int32 }
 
+// compState is one component timeline: the event heap, clock, arrival
+// cursor, epoch counters, and recompute scratch of a single connected
+// component of flows. Components partition both the flows and the links
+// they touch (scheduler.go), so every compState reads and writes a
+// disjoint index set of the engine's shared structure-of-arrays slabs —
+// which is what lets the scheduler advance component timelines
+// concurrently with no copying and no locks, and what makes a runtime
+// merge of two components a cheap bookkeeping splice (heaps concatenate,
+// arrival tails interleave, counters add; every per-flow and per-link
+// slab entry is already where the merged timeline needs it).
+type compState struct {
+	id     int32
+	nFlows int // super-flows assigned to this component, processed or not
+
+	heap []heapEntry
+
+	order    []int32 // pending arrivals in (start, flow-index) order
+	next     int     // cursor into order
+	orderBuf []int32 // owned backing for merged-component order lists
+
+	now         float64
+	activeCount int
+	events      int
+	maxEvents   int
+
+	// Epoch counters stamp the engine's shared mark slabs; component
+	// disjointness keeps concurrent stamps from colliding, and a merged
+	// component resumes from the max of its parents' counters.
+	epoch    int32
+	chkEpoch int32
+
+	// Recompute scratch (solve-set links, affected flows, event seeds,
+	// moved links, the flat fill's compactable link list).
+	queue     []int32
+	compFlows []int32
+	seeds     []int32
+	moved     []int32
+	fillLinks []int32
+
+	// allowShards enables the region-sharded water-fill (shard.go). Only
+	// the single-component fast path sets it: the sharded solve's
+	// region union-find is engine-level state, and a multi-component run
+	// has already split the big solves along the same boundaries.
+	allowShards bool
+
+	merged bool // absorbed into a merge; no longer runnable
+}
+
 // engine is the incremental event-driven simulator state. Everything is
 // arena-style: every slice (including the coalescing map and the heap
-// backing array) lives on the engine, is grown to high-water marks, and
+// backing arrays) lives on the engine, is grown to high-water marks, and
 // is reused across Simulate calls through enginePool, so a replay at a
 // size the pool has seen before allocates only what the routers return.
 //
@@ -70,6 +117,10 @@ type linkRef struct{ flow, slot int32 }
 // touched, and the stored slack/max-rate of every other link certifies —
 // via the max-min bottleneck property — that untouched flows keep their
 // rates.
+//
+// Per-timeline state lives in compState: the scheduler (scheduler.go)
+// partitions the flows into link-disjoint connected components, each
+// advanced by its own compState over these shared slabs.
 type engine struct {
 	sims []superFlow
 
@@ -92,26 +143,19 @@ type engine struct {
 	linkWeight []int32
 	posSlab    []int32
 
-	heap []heapEntry
-
-	now         float64
-	activeCount int
-	events      int
-
 	// Committed-allocation state per link.
 	linkS       []float64 // consumed bandwidth: Σ weight·rate over active flows
 	linkResid   []float64 // unconsumed bandwidth
 	linkMaxRate []float64 // largest per-share rate among active flows
 
-	// Recompute scratch, epoch-stamped so it never needs clearing.
-	epoch     int32
-	linkMark  []int32 // link is in the solve set T this epoch
-	linkPull  []int32 // link's flows have been pulled into A this epoch
-	flowMark  []int32 // flow is in the affected set A this epoch
-	queue     []int32 // solve-set link list (T)
-	compFlows []int32 // affected flow list (A)
-	seeds     []int32
-	moved     []int32 // solve-set links whose slack or top rate changed
+	// Epoch-stamped recompute scratch. Component timelines stamp these
+	// with their own counters; disjointness keeps the stamps from
+	// colliding, and epochHW is the engine-wide high-water mark new
+	// components start above.
+	epochHW  int32
+	linkMark []int32 // link is in the solve set T this epoch
+	linkPull []int32 // link's flows have been pulled into A this epoch
+	flowMark []int32 // flow is in the affected set A this epoch
 
 	// Water-filling scratch.
 	linkCap   []float64
@@ -120,11 +164,12 @@ type engine struct {
 	newRate   []float64
 	oldRate   []float64 // rate at the moment the flow joined A
 	chkMark   []int32   // flow witness-checked this pass
-	chkEpoch  int32
 
 	// Region sharding (shard.go). nShards > 1 turns on the sharded
 	// water-fill for large affected sets: the affected set is split into
 	// region-granular connected components that fill concurrently.
+	// Engine-level (not per compState): only the single-component fast
+	// path shards its solves.
 	nShards       int
 	linkRegion    []int32 // region id per link, or -1 (hinter-owned)
 	solveEpoch    int32
@@ -135,7 +180,20 @@ type engine struct {
 	rootCompMark  []int32
 	compFlowsB    [][]int32 // per-component flow buckets
 	compLinksB    [][]int32 // per-component link buckets
-	fillLinks     []int32   // flat fill's compactable copy of the queue
+
+	// Component scheduling state (scheduler.go).
+	comps      []compState
+	nodes      []schedNode
+	mergeNodes []int32 // merge-node ids in (time, flow-index) order
+	nodeOfFlow []int32 // super-flow → owning scheduler node
+	flowSlab   []int32 // per-node flow lists, CSR over nodes
+	linkUF     []int32 // union-find parent per link, -1 while unowned
+	nodeOfRoot []int32 // union-find root link → scheduler node
+	arrival    []int32 // routable nonzero super-flows in (start, index) order
+	live       []int32 // comps currently runnable (scratch)
+	runErrs    []error // per-live-comp errors from a scheduler epoch
+	invol      []int32 // partition scratch: nodes a flow's path touches
+	kids       []int32 // partition scratch: live children of a union
 
 	// Build scratch for SimulateInto, reused across calls.
 	groups    map[groupKey]int32
@@ -144,7 +202,7 @@ type engine struct {
 	routedOK  []bool
 	simIdx    []int32 // raw flow → super-flow (-1 when unroutable)
 	linkBytes []float64
-	order     []int32
+	routeBufs [][]int // per-chunk arenas AppendRouter paths live in
 }
 
 // groupKey identifies a coalescing group. The key includes the size:
@@ -212,7 +270,11 @@ func SimulateInto(res *Result, net *Network, router Router, flows []Flow) error 
 
 // simulateRegions is the full engine entry point: regions is the
 // per-link region id slice (nil for unsharded; see RegionHinter for the
-// contract). Tests drive it directly with explicit cuts.
+// contract). Tests drive it directly with explicit cuts. The replay runs
+// component-scheduled: build routes and coalesces, partition splits the
+// super-flows into link-disjoint connected components (scheduler.go),
+// and runScheduled advances the component timelines — concurrently when
+// there is more than one.
 func simulateRegions(res *Result, net *Network, router Router, flows []Flow, regions []int32) error {
 	e := enginePool.Get().(*engine)
 	defer e.release()
@@ -220,7 +282,7 @@ func simulateRegions(res *Result, net *Network, router Router, flows []Flow, reg
 	if err != nil {
 		return err
 	}
-	if err := e.run(); err != nil {
+	if err := e.runScheduled(); err != nil {
 		return err
 	}
 
@@ -245,6 +307,12 @@ func simulateRegions(res *Result, net *Network, router Router, flows []Flow, reg
 	return nil
 }
 
+// routeChunk is the fixed flow-count grid the routing fan-out splits
+// over. Fixed chunks (never worker-count-derived shards) give every
+// chunk its own append arena, so AppendRouter paths land in engine-owned
+// memory with a layout that is a pure function of the flow list.
+const routeChunk = 4096
+
 // build routes, validates, and coalesces the raw flows, then sizes every
 // engine array for the run. Routing is the only per-flow work with no
 // cross-flow dependency, so it fans out over par workers; validation,
@@ -257,11 +325,37 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 	e.lats = growF64(e.lats, nf)
 	e.routedOK = growBool(e.routedOK, nf)
 	e.simIdx = growI32(e.simIdx, nf)
-	par.Ranges(nf, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e.paths[i], e.lats[i], e.routedOK[i] = router.Route(flows[i].Src, flows[i].Dst)
+	if ar, ok := router.(AppendRouter); ok {
+		// Route into per-chunk arenas: the fabric appends each path to the
+		// chunk's slab instead of allocating one slice per call. Slab
+		// growth may strand early paths on a retired backing array — they
+		// stay valid, and the high-water slab makes repeat replays
+		// allocation-free.
+		nChunks := (nf + routeChunk - 1) / routeChunk
+		if cap(e.routeBufs) < nChunks {
+			bufs := make([][]int, nChunks)
+			copy(bufs, e.routeBufs)
+			e.routeBufs = bufs
 		}
-	})
+		e.routeBufs = e.routeBufs[:nChunks]
+		par.ForChunks(nf, routeChunk, func(ci, lo, hi int) {
+			buf := e.routeBufs[ci][:0]
+			for i := lo; i < hi; i++ {
+				base := len(buf)
+				var full []int
+				full, e.lats[i], e.routedOK[i] = ar.RouteAppend(buf, flows[i].Src, flows[i].Dst)
+				e.paths[i] = full[base:len(full):len(full)]
+				buf = full
+			}
+			e.routeBufs[ci] = buf
+		})
+	} else {
+		par.Ranges(nf, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.paths[i], e.lats[i], e.routedOK[i] = router.Route(flows[i].Src, flows[i].Dst)
+			}
+		})
+	}
 
 	e.linkBytes = growF64(e.linkBytes, nLinks)
 	clear(e.linkBytes)
@@ -331,8 +425,8 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 	// never collide while epochs only grow, so reused memory needs no
 	// clearing. Grown memory arrives zeroed, which reads as "epoch 0" —
 	// keep real epochs strictly positive.
-	if e.epoch > 1<<30 || e.chkEpoch > 1<<30 || e.solveEpoch > 1<<30 {
-		e.epoch, e.chkEpoch, e.solveEpoch = 0, 0, 0
+	if e.epochHW > 1<<30 || e.solveEpoch > 1<<30 {
+		e.epochHW, e.solveEpoch = 0, 0
 		clearI32 := func(s []int32) { clear(s[:cap(s)]) }
 		clearI32(e.linkMark[:0])
 		clearI32(e.linkPull[:0])
@@ -397,10 +491,7 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 	}
 
 	e.initShards(regions, nLinks)
-
-	e.heap = e.heap[:0]
-	e.queue, e.compFlows, e.seeds, e.moved = e.queue[:0], e.compFlows[:0], e.seeds[:0], e.moved[:0]
-	e.now, e.activeCount, e.events = 0, 0, 0
+	e.partition()
 	return unroutable, maxLinkBytes, nil
 }
 
@@ -433,78 +524,66 @@ func (e *engine) release() {
 // inputs, since it scaled with raw rather than coalesced flow count.)
 func maxEventCap(superFlows int) int { return 3*superFlows + 64 }
 
-func (e *engine) run() error {
-	// Arrival order: (start, flow index), matching the reference's
-	// stable sort. Zero-byte flows finish at start+latency without ever
-	// becoming active.
-	e.order = e.order[:0]
-	for i := range e.sims {
-		sf := &e.sims[i]
-		if sf.bytes == 0 {
-			e.done[i] = true
-			sf.finish = sf.start + sf.latency
-			continue
-		}
-		e.order = append(e.order, int32(i))
-	}
-	order := e.order
-	sort.SliceStable(order, func(a, b int) bool { return e.sims[order[a]].start < e.sims[order[b]].start })
-
-	maxEvents := maxEventCap(len(e.sims))
-	nextArrival := 0
+// run advances one component timeline, processing every event strictly
+// before horizon. The clock, arrival cursor, and heap survive in the
+// compState across calls, so the scheduler can run a component up to a
+// merge barrier and resume the merged component afterwards; the final
+// epoch runs with horizon = +Inf, which is where an event drought with
+// live flows becomes a stall error.
+func (e *engine) run(c *compState, horizon float64) error {
 	for {
 		// Discard stale heap entries, then pick the next event: the
 		// earliest pending arrival or projected completion.
-		for len(e.heap) > 0 {
-			top := e.heap[0]
+		for len(c.heap) > 0 {
+			top := c.heap[0]
 			if e.seq[top.flow] == top.seq && !e.done[top.flow] {
 				break
 			}
-			e.heapPop()
+			c.heapPop()
 		}
 		tNext := math.Inf(1)
-		if nextArrival < len(order) {
-			tNext = e.sims[order[nextArrival]].start
+		if c.next < len(c.order) {
+			tNext = e.sims[c.order[c.next]].start
 		}
-		if len(e.heap) > 0 && e.heap[0].t < tNext {
-			tNext = e.heap[0].t
+		if len(c.heap) > 0 && c.heap[0].t < tNext {
+			tNext = c.heap[0].t
 		}
-		if math.IsInf(tNext, 1) {
-			if e.activeCount > 0 {
-				return fmt.Errorf("netsim: %d flows stalled with zero rate after %d events (t=%.6g)",
-					e.activeCount, e.events, e.now)
+		if tNext >= horizon {
+			if math.IsInf(horizon, 1) && c.activeCount > 0 {
+				return fmt.Errorf("netsim: component %d: %d flows stalled with zero rate after %d events (cap %d, t=%.6g)",
+					c.id, c.activeCount, c.events, c.maxEvents, c.now)
 			}
 			return nil
 		}
-		e.events++
-		if e.events > maxEvents {
-			return fmt.Errorf("netsim: no progress after %d events (cap %d for %d coalesced flows, t=%.6g, %d active)",
-				e.events, maxEvents, len(e.sims), e.now, e.activeCount)
+		c.events++
+		if c.events > c.maxEvents {
+			return fmt.Errorf("netsim: component %d: no progress after %d events (cap %d for %d coalesced flows, t=%.6g, %d active)",
+				c.id, c.events, c.maxEvents, c.nFlows, c.now, c.activeCount)
 		}
-		e.now = tNext
+		c.now = tNext
 
 		// Retire every flow whose live projection lands on this event
 		// time — the whole simultaneous batch, in flow-index order.
-		e.seeds = e.seeds[:0]
-		for len(e.heap) > 0 {
-			top := e.heap[0]
+		c.seeds = c.seeds[:0]
+		for len(c.heap) > 0 {
+			top := c.heap[0]
 			if e.seq[top.flow] != top.seq || e.done[top.flow] {
-				e.heapPop()
+				c.heapPop()
 				continue
 			}
-			if top.t > e.now {
+			if top.t > c.now {
 				break
 			}
-			e.heapPop()
-			e.retire(top.flow, true)
+			c.heapPop()
+			e.retire(c, top.flow, true)
 		}
 		// Admit arrivals due now.
-		for nextArrival < len(order) && e.sims[order[nextArrival]].start <= e.now+1e-15 {
-			e.admit(order[nextArrival])
-			nextArrival++
+		for c.next < len(c.order) && e.sims[c.order[c.next]].start <= c.now+1e-15 {
+			e.admit(c, c.order[c.next])
+			c.next++
 		}
-		if len(e.seeds) > 0 {
-			e.recompute()
+		if len(c.seeds) > 0 {
+			e.recompute(c)
 		}
 	}
 }
@@ -519,13 +598,13 @@ func (e *engine) activeRefs(l int32) []linkRef {
 // is rounding noise from the projection, so remaining is forced to zero.
 // The flow leaves every per-link segment immediately — it can never be
 // drained or counted again — and its links seed the next recompute.
-func (e *engine) retire(fi int32, seed bool) {
+func (e *engine) retire(c *compState, fi int32, seed bool) {
 	sf := &e.sims[fi]
 	e.remaining[fi] = 0
 	e.done[fi] = true
-	sf.finish = e.now + sf.latency
+	sf.finish = c.now + sf.latency
 	e.seq[fi]++
-	e.activeCount--
+	c.activeCount--
 	w := e.weight[fi]
 	drop := float64(w) * e.rate[fi]
 	for k, l := range sf.path {
@@ -541,18 +620,18 @@ func (e *engine) retire(fi int32, seed bool) {
 		e.linkWeight[l] -= w
 		e.linkS[l] -= drop
 		if seed {
-			e.seeds = append(e.seeds, int32(l))
+			c.seeds = append(c.seeds, int32(l))
 		}
 	}
 	e.rate[fi] = 0
 }
 
 // admit activates an arriving flow and seeds its links.
-func (e *engine) admit(fi int32) {
+func (e *engine) admit(c *compState, fi int32) {
 	sf := &e.sims[fi]
 	e.rate[fi] = 0
-	e.lastT[fi] = e.now
-	e.activeCount++
+	e.lastT[fi] = c.now
+	c.activeCount++
 	w := e.weight[fi]
 	for k, l := range sf.path {
 		p := e.linkLen[l]
@@ -560,7 +639,7 @@ func (e *engine) admit(fi int32) {
 		e.refs[e.linkOff[l]+p] = linkRef{flow: fi, slot: int32(k)}
 		e.linkLen[l]++
 		e.linkWeight[l] += w
-		e.seeds = append(e.seeds, int32(l))
+		c.seeds = append(c.seeds, int32(l))
 	}
 }
 
@@ -583,20 +662,20 @@ func (e *engine) saturated(l int32) bool {
 // the current time afterwards (settling can retire flows, which mutates
 // the very index segments being iterated, so the two steps stay
 // separate).
-func (e *engine) pullLink(l int32) {
-	ep := e.epoch
+func (e *engine) pullLink(c *compState, l int32) {
+	ep := c.epoch
 	if e.linkPull[l] == ep {
 		return
 	}
 	e.linkPull[l] = ep
 	if e.linkMark[l] != ep {
 		e.linkMark[l] = ep
-		e.queue = append(e.queue, l)
+		c.queue = append(c.queue, l)
 	}
 	for _, ref := range e.activeRefs(l) {
 		if e.flowMark[ref.flow] != ep {
 			e.flowMark[ref.flow] = ep
-			e.compFlows = append(e.compFlows, ref.flow)
+			c.compFlows = append(c.compFlows, ref.flow)
 		}
 	}
 }
@@ -605,26 +684,26 @@ func (e *engine) pullLink(l int32) {
 // retiring those whose residue fell under the completion epsilon
 // (retirement seeds the freed links) and adding survivors' path links to
 // the solve set. Returns the new settled watermark.
-func (e *engine) settleNew(settled int) int {
-	ep := e.epoch
-	for ; settled < len(e.compFlows); settled++ {
-		fi := e.compFlows[settled]
+func (e *engine) settleNew(c *compState, settled int) int {
+	ep := c.epoch
+	for ; settled < len(c.compFlows); settled++ {
+		fi := c.compFlows[settled]
 		if e.done[fi] {
 			continue
 		}
-		if e.rate[fi] > 0 && e.now > e.lastT[fi] {
-			e.remaining[fi] -= e.rate[fi] * (e.now - e.lastT[fi])
+		if e.rate[fi] > 0 && c.now > e.lastT[fi] {
+			e.remaining[fi] -= e.rate[fi] * (c.now - e.lastT[fi])
 		}
-		e.lastT[fi] = e.now
+		e.lastT[fi] = c.now
 		e.oldRate[fi] = e.rate[fi]
 		if e.remaining[fi] < completionEpsilon {
-			e.retire(fi, true)
+			e.retire(c, fi, true)
 			continue
 		}
 		for _, l := range e.sims[fi].path {
 			if e.linkMark[l] != ep {
 				e.linkMark[l] = ep
-				e.queue = append(e.queue, int32(l))
+				c.queue = append(c.queue, int32(l))
 			}
 		}
 	}
@@ -636,12 +715,12 @@ func (e *engine) settleNew(settled int) int {
 // serial fill; large ones (the t=0 admission storm, cascade avalanches)
 // run region-sharded over par workers when the fabric provided a
 // partition (shard.go).
-func (e *engine) solve() {
-	if e.nShards > 1 && len(e.compFlows) >= shardedSolveMin {
-		e.solveSharded()
+func (e *engine) solve(c *compState) {
+	if c.allowShards && e.nShards > 1 && len(c.compFlows) >= shardedSolveMin {
+		e.solveSharded(c)
 		return
 	}
-	e.solveAffected()
+	e.solveAffected(c)
 }
 
 // solveAffected is the flat water-fill: every frozen flow is fixed
@@ -651,13 +730,13 @@ func (e *engine) solve() {
 // bottleneck link is fixed at the bottleneck share by walking those
 // links' segments — so a solve costs O(|A|·pathlen + |T|·rounds),
 // independent of network size.
-func (e *engine) solveAffected() {
-	for _, l := range e.queue {
+func (e *engine) solveAffected(c *compState) {
+	for _, l := range c.queue {
 		e.linkCap[l] = e.linkBW[l] - e.linkS[l]
 		e.linkW[l] = 0
 	}
 	live := 0
-	for _, fi := range e.compFlows {
+	for _, fi := range c.compFlows {
 		if e.done[fi] {
 			continue
 		}
@@ -669,13 +748,13 @@ func (e *engine) solveAffected() {
 			e.linkW[l] += e.weight[fi]
 		}
 	}
-	for _, l := range e.queue {
+	for _, l := range c.queue {
 		if e.linkCap[l] < 0 {
 			e.linkCap[l] = 0
 		}
 	}
-	e.fillLinks = append(e.fillLinks[:0], e.queue...)
-	e.fill(e.fillLinks, e.compFlows, live)
+	c.fillLinks = append(c.fillLinks[:0], c.queue...)
+	e.fill(c, c.fillLinks, c.compFlows, live)
 }
 
 // fillParMin is the live link-list length above which fill's bottleneck
@@ -692,8 +771,8 @@ var fillParMin = 8192
 // fix order — and with it every float — matches the uncompacted scan),
 // which turns the admission-storm fill from O(|T|·rounds) into a scan
 // over a shrinking frontier.
-func (e *engine) fill(links, flows []int32, live int) {
-	ep := e.epoch
+func (e *engine) fill(c *compState, links, flows []int32, live int) {
+	ep := c.epoch
 	nl := len(links)
 	for live > 0 {
 		bottle := math.Inf(1)
@@ -790,20 +869,21 @@ const refreshChunk = 2048
 // sum walks its own segment, so chunks write disjoint state and the
 // per-chunk moved lists concatenate in chunk order — bit-identical at
 // any worker count.
-func (e *engine) refreshQueue() {
-	e.moved = e.moved[:0]
-	n := len(e.queue)
+func (e *engine) refreshQueue(c *compState) {
+	c.moved = c.moved[:0]
+	n := len(c.queue)
 	if n <= refreshChunk {
-		for _, l := range e.queue {
+		for _, l := range c.queue {
 			if e.refreshLink(l) {
-				e.moved = append(e.moved, l)
+				c.moved = append(c.moved, l)
 			}
 		}
 		return
 	}
+	queue := c.queue
 	lists := par.MapChunks(n, refreshChunk, func(lo, hi int) []int32 {
 		var mv []int32
-		for _, l := range e.queue[lo:hi] {
+		for _, l := range queue[lo:hi] {
 			if e.refreshLink(l) {
 				mv = append(mv, l)
 			}
@@ -811,7 +891,7 @@ func (e *engine) refreshQueue() {
 		return mv
 	})
 	for _, mv := range lists {
-		e.moved = append(e.moved, mv...)
+		c.moved = append(c.moved, mv...)
 	}
 }
 
@@ -845,43 +925,43 @@ func (e *engine) refreshLink(l int32) bool {
 // blocking it are pulled into A and the solve repeats. Untouched links
 // certify their flows' rates by their stored slack/max-rate, which is
 // what lets the engine skip them entirely.
-func (e *engine) recompute() {
-	e.epoch++
-	ep := e.epoch
-	e.queue = e.queue[:0]
-	e.compFlows = e.compFlows[:0]
+func (e *engine) recompute(c *compState) {
+	c.epoch++
+	ep := c.epoch
+	c.queue = c.queue[:0]
+	c.compFlows = c.compFlows[:0]
 
 	settled := 0
-	for si := 0; si < len(e.seeds); si++ {
-		e.pullLink(e.seeds[si])
-		// Settling can retire flows, which appends to e.seeds.
-		settled = e.settleNew(settled)
+	for si := 0; si < len(c.seeds); si++ {
+		e.pullLink(c, c.seeds[si])
+		// Settling can retire flows, which appends to c.seeds.
+		settled = e.settleNew(c, settled)
 	}
 
 	for pass := 0; ; pass++ {
-		e.solve()
+		e.solve(c)
 
 		// Commit candidate rates, then refresh consumed/slack/max-rate
 		// on every solve-set link — witness checks must never read a
 		// stale slack/max-rate for a link whose refresh is still pending
 		// in the same pass — remembering which links actually moved.
-		for _, fi := range e.compFlows {
+		for _, fi := range c.compFlows {
 			if !e.done[fi] {
 				e.rate[fi] = e.newRate[fi]
 			}
 		}
-		e.refreshQueue()
+		e.refreshQueue(c)
 		expanded := false
-		e.chkEpoch++
-		for _, l := range e.moved {
+		c.chkEpoch++
+		for _, l := range c.moved {
 			// Witness-check every flow on a moved link (frozen flows
 			// included: their certificate may have lived here).
 			for _, ref := range e.activeRefs(l) {
 				fi := ref.flow
-				if e.chkMark[fi] == e.chkEpoch {
+				if e.chkMark[fi] == c.chkEpoch {
 					continue
 				}
-				e.chkMark[fi] = e.chkEpoch
+				e.chkMark[fi] = c.chkEpoch
 				if e.done[fi] || e.rate[fi] <= 0 {
 					continue
 				}
@@ -900,12 +980,12 @@ func (e *engine) recompute() {
 				// it — pull those links' flows into A and re-solve.
 				for _, l2 := range e.sims[fi].path {
 					if e.saturated(int32(l2)) {
-						e.pullLink(int32(l2))
+						e.pullLink(c, int32(l2))
 					}
 				}
 				if e.flowMark[fi] != ep {
 					e.flowMark[fi] = ep
-					e.compFlows = append(e.compFlows, fi)
+					c.compFlows = append(c.compFlows, fi)
 				}
 				expanded = true
 			}
@@ -913,65 +993,77 @@ func (e *engine) recompute() {
 		if !expanded {
 			break
 		}
-		settled = e.settleNew(settled)
-		for si := 0; si < len(e.seeds); si++ {
-			e.pullLink(e.seeds[si])
-			settled = e.settleNew(settled)
+		settled = e.settleNew(c, settled)
+		for si := 0; si < len(c.seeds); si++ {
+			e.pullLink(c, c.seeds[si])
+			settled = e.settleNew(c, settled)
 		}
 		if pass > 64 {
 			// Pathological float corner: fall back to re-solving every
-			// active flow, which is always a valid affected set.
-			for l := int32(0); l < int32(len(e.linkLen)); l++ {
-				if e.linkLen[l] > 0 {
-					e.pullLink(l)
+			// active flow in this component, which is always a valid
+			// affected set. (Scoped by the component's own admitted
+			// flows, never the whole link table: other components'
+			// timelines may be advancing concurrently.)
+			for _, fi := range c.order[:c.next] {
+				if e.done[fi] {
+					continue
+				}
+				for _, l := range e.sims[fi].path {
+					e.pullLink(c, int32(l))
 				}
 			}
-			settled = e.settleNew(settled)
-			e.solveAffected()
-			for _, fi := range e.compFlows {
+			settled = e.settleNew(c, settled)
+			e.solveAffected(c)
+			for _, fi := range c.compFlows {
 				if !e.done[fi] {
 					e.rate[fi] = e.newRate[fi]
 				}
 			}
-			e.refreshQueue()
+			e.refreshQueue(c)
 			break
 		}
 	}
 
 	// Re-project only the flows whose rate actually changed; everyone
 	// else's heap entry is still the correct completion time.
-	for _, fi := range e.compFlows {
+	for _, fi := range c.compFlows {
 		if e.done[fi] || e.rate[fi] == e.oldRate[fi] {
 			continue
 		}
 		e.seq[fi]++
 		if e.rate[fi] > 0 {
-			e.heapPush(heapEntry{t: e.now + e.remaining[fi]/e.rate[fi], flow: fi, seq: e.seq[fi]})
+			c.heapPush(heapEntry{t: c.now + e.remaining[fi]/e.rate[fi], flow: fi, seq: e.seq[fi]})
 		}
 	}
 }
 
-func (e *engine) heapPush(h heapEntry) {
-	e.heap = append(e.heap, h)
-	i := len(e.heap) - 1
+func (c *compState) heapPush(h heapEntry) {
+	c.heap = append(c.heap, h)
+	i := len(c.heap) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !heapLess(e.heap[i], e.heap[p]) {
+		if !heapLess(c.heap[i], c.heap[p]) {
 			break
 		}
-		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
 		i = p
 	}
 }
 
-func (e *engine) heapPop() heapEntry {
-	h := e.heap
+func (c *compState) heapPop() heapEntry {
+	h := c.heap
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h = h[:n]
-	e.heap = h
-	i := 0
+	c.heap = h
+	c.siftDown(0)
+	return top
+}
+
+func (c *compState) siftDown(i int) {
+	h := c.heap
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		s := i
@@ -987,5 +1079,12 @@ func (e *engine) heapPop() heapEntry {
 		h[i], h[s] = h[s], h[i]
 		i = s
 	}
-	return top
+}
+
+// heapInit heapifies c.heap in place — used after a merge concatenates
+// two parents' heaps.
+func (c *compState) heapInit() {
+	for i := len(c.heap)/2 - 1; i >= 0; i-- {
+		c.siftDown(i)
+	}
 }

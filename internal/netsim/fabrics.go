@@ -73,9 +73,14 @@ func (h *HFASTNet) Network() *Network { return h.net }
 // latencies from the assignment; other pairs are unroutable on the
 // high-bandwidth fabric (they belong on the collective network).
 func (h *HFASTNet) Route(src, dst int) ([]int, float64, bool) {
+	return h.RouteAppend(nil, src, dst)
+}
+
+// RouteAppend implements AppendRouter.
+func (h *HFASTNet) RouteAppend(buf []int, src, dst int) ([]int, float64, bool) {
 	r, ok := h.assign.Route(src, dst)
 	if !ok {
-		return nil, 0, false
+		return buf, 0, false
 	}
 	key := [2]int{src, dst}
 	if dst < src {
@@ -83,11 +88,11 @@ func (h *HFASTNet) Route(src, dst int) ([]int, float64, bool) {
 	}
 	el, ok := h.edgeLink[key]
 	if !ok {
-		return nil, 0, false
+		return buf, 0, false
 	}
-	path := []int{h.up[src], el, h.down[dst]}
+	buf = append(buf, h.up[src], el, h.down[dst])
 	lat := float64(r.SBHops)*h.p.SwitchLatency + float64(r.Crossings+2)*h.p.WireLatency
-	return path, lat, true
+	return buf, lat, true
 }
 
 // nodeRegion maps node i of p into one of target contiguous rank blocks.
@@ -147,11 +152,16 @@ func (f *FCNNet) Network() *Network { return f.net }
 
 // Route implements Router.
 func (f *FCNNet) Route(src, dst int) ([]int, float64, bool) {
+	return f.RouteAppend(nil, src, dst)
+}
+
+// RouteAppend implements AppendRouter.
+func (f *FCNNet) RouteAppend(buf []int, src, dst int) ([]int, float64, bool) {
 	if src < 0 || src >= f.procs || dst < 0 || dst >= f.procs || src == dst {
-		return nil, 0, false
+		return buf, 0, false
 	}
 	lat := float64(f.tree.MaxSwitchHops())*f.p.SwitchLatency + 2*f.p.WireLatency
-	return []int{f.up[src], f.down[dst]}, lat, true
+	return append(buf, f.up[src], f.down[dst]), lat, true
 }
 
 // LinkRegions implements RegionHinter: fat-tree regions are the
@@ -202,23 +212,85 @@ func (m *MeshNet) Network() *Network { return m.net }
 
 // Route implements Router via dimension-ordered routing.
 func (m *MeshNet) Route(src, dst int) ([]int, float64, bool) {
+	return m.RouteAppend(nil, src, dst)
+}
+
+// maxMeshDims bounds the dimensionality RouteAppend walks on the stack;
+// the paper's fabrics are 2-D/3-D, so 8 is comfortably past anything a
+// caller builds. Higher-dimensional meshes spill the coordinate scratch
+// to the heap, trading the zero-alloc guarantee, not correctness.
+const maxMeshDims = 8
+
+// RouteAppend implements AppendRouter with an in-place dimension-ordered
+// walk: coordinates and strides live in stack arrays and each hop's rank
+// is maintained incrementally, so — unlike meshtorus.RouteDOR, which
+// allocates coordinate slices per hop — routing a replay costs no
+// allocations beyond the shared arena the paths land in. Mesh paths are
+// the longest of any fabric, which made the per-call slices the
+// allocation outlier of large replays (~6× the other fabrics at
+// P=16384).
+func (m *MeshNet) RouteAppend(buf []int, src, dst int) ([]int, float64, bool) {
 	if src == dst {
-		return nil, 0, false
+		return buf, 0, false
 	}
-	hops := m.mesh.RouteDOR(src, dst)
-	path := make([]int, 0, len(hops)+2)
-	path = append(path, m.up[src])
-	for _, h := range hops {
-		id, ok := m.links[h]
-		if !ok {
-			return nil, 0, false
+	base := len(buf)
+	dims := m.mesh.Dims
+	var curA, tgtA, strideA [maxMeshDims]int
+	var cur, tgt, stride []int
+	if len(dims) <= maxMeshDims {
+		cur, tgt, stride = curA[:len(dims)], tgtA[:len(dims)], strideA[:len(dims)]
+	} else {
+		cur, tgt, stride = make([]int, len(dims)), make([]int, len(dims)), make([]int, len(dims))
+	}
+	r, s, t := src, 1, dst
+	for i, d := range dims {
+		cur[i] = r % d
+		r /= d
+		tgt[i] = t % d
+		t /= d
+		stride[i] = s
+		s *= d
+	}
+
+	buf = append(buf, m.up[src])
+	hops := 0
+	from := src
+	for dim, d := range dims {
+		for cur[dim] != tgt[dim] {
+			step := 1
+			delta := tgt[dim] - cur[dim]
+			if delta < 0 {
+				step = -1
+			}
+			if m.mesh.Wrap {
+				abs := delta
+				if abs < 0 {
+					abs = -abs
+				}
+				if d-abs < abs {
+					step = -step // shorter the other way around
+				}
+			}
+			next := (cur[dim] + step + d) % d
+			to := from + (next-cur[dim])*stride[dim]
+			a, b := from, to
+			if a > b {
+				a, b = b, a
+			}
+			id, ok := m.links[[2]int{a, b}]
+			if !ok {
+				return buf[:base], 0, false
+			}
+			buf = append(buf, id)
+			cur[dim] = next
+			from = to
+			hops++
 		}
-		path = append(path, id)
 	}
-	path = append(path, m.down[dst])
+	buf = append(buf, m.down[dst])
 	// Each hop crosses one router.
-	lat := float64(len(hops))*m.p.SwitchLatency + float64(len(hops)+1)*m.p.WireLatency
-	return path, lat, true
+	lat := float64(hops)*m.p.SwitchLatency + float64(hops+1)*m.p.WireLatency
+	return buf, lat, true
 }
 
 // LinkRegions implements RegionHinter: mesh regions are torus blocks.
@@ -348,23 +420,28 @@ func (t *TreeNet) LinkRegions(target int) []int32 {
 // Route implements Router: climb from both endpoints to their lowest
 // common ancestor in the implicit heap layout.
 func (t *TreeNet) Route(src, dst int) ([]int, float64, bool) {
+	return t.RouteAppend(nil, src, dst)
+}
+
+// RouteAppend implements AppendRouter.
+func (t *TreeNet) RouteAppend(buf []int, src, dst int) ([]int, float64, bool) {
 	if src == dst || src < 0 || dst < 0 || src >= t.tree.P || dst >= t.tree.P {
-		return nil, 0, false
+		return buf, 0, false
 	}
+	base := len(buf)
 	fanout := t.tree.Params.Fanout
-	var path []int
 	a, b := src, dst
 	for a != b {
 		if a > b {
 			parent := (a - 1) / fanout
-			path = append(path, t.links[[2]int{a, parent}])
+			buf = append(buf, t.links[[2]int{a, parent}])
 			a = parent
 		} else {
 			parent := (b - 1) / fanout
-			path = append(path, t.links[[2]int{b, parent}])
+			buf = append(buf, t.links[[2]int{b, parent}])
 			b = parent
 		}
 	}
-	lat := float64(len(path)) * t.tree.Params.HopLatency
-	return path, lat, true
+	lat := float64(len(buf)-base) * t.tree.Params.HopLatency
+	return buf, lat, true
 }

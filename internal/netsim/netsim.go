@@ -72,6 +72,18 @@ type RouterFunc func(src, dst int) ([]int, float64, bool)
 // Route implements Router.
 func (f RouterFunc) Route(src, dst int) ([]int, float64, bool) { return f(src, dst) }
 
+// AppendRouter is an optional Router extension for allocation-free
+// routing: RouteAppend appends the (src, dst) path to buf and returns
+// the extended slice, so the engine can route a whole replay into
+// pooled arenas instead of paying one path slice per flow (the
+// mesh-torus fabrics were the worst offenders: long dimension-ordered
+// paths, one fresh slice each). On ok=false the returned slice must be
+// buf trimmed back to its original length.
+type AppendRouter interface {
+	Router
+	RouteAppend(buf []int, src, dst int) (extended []int, latency float64, ok bool)
+}
+
 // Flow is one message transfer.
 type Flow struct {
 	// Src and Dst are node ids.

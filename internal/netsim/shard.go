@@ -119,13 +119,13 @@ func (e *engine) ufUnion(a, b int32) {
 // recompute witness pass downstream reconciles shard results against the
 // frozen background either way, re-triggering exactly the flows whose
 // boundary slack the solve moved.
-func (e *engine) solveSharded() {
-	for _, l := range e.queue {
+func (e *engine) solveSharded(c *compState) {
+	for _, l := range c.queue {
 		e.linkCap[l] = e.linkBW[l] - e.linkS[l]
 		e.linkW[l] = 0
 	}
 	live := 0
-	for _, fi := range e.compFlows {
+	for _, fi := range c.compFlows {
 		if e.done[fi] {
 			continue
 		}
@@ -137,7 +137,7 @@ func (e *engine) solveSharded() {
 			e.linkW[l] += e.weight[fi]
 		}
 	}
-	for _, l := range e.queue {
+	for _, l := range c.queue {
 		if e.linkCap[l] < 0 {
 			e.linkCap[l] = 0
 		}
@@ -148,7 +148,7 @@ func (e *engine) solveSharded() {
 	e.solveEpoch++
 	sep := e.solveEpoch
 	nb := 0
-	for _, fi := range e.compFlows {
+	for _, fi := range c.compFlows {
 		if !e.done[fi] && e.flowShard[fi] < 0 {
 			nb++
 		}
@@ -159,7 +159,7 @@ func (e *engine) solveSharded() {
 		e.ufParent[i] = int32(i)
 	}
 	be := int32(e.nShards)
-	for _, fi := range e.compFlows {
+	for _, fi := range c.compFlows {
 		if e.done[fi] || e.flowShard[fi] >= 0 {
 			continue
 		}
@@ -192,15 +192,15 @@ func (e *engine) solveSharded() {
 	}
 	e.compFlowsB = e.compFlowsB[:0]
 	e.compLinksB = e.compLinksB[:0]
-	bucket := func(lists [][]int32, c int32, v int32) [][]int32 {
-		for int32(len(lists)) <= c {
+	bucket := func(lists [][]int32, ci int32, v int32) [][]int32 {
+		for int32(len(lists)) <= ci {
 			lists = append(lists, nil)
 		}
-		lists[c] = append(lists[c], v)
+		lists[ci] = append(lists[ci], v)
 		return lists
 	}
 	be = int32(e.nShards)
-	for _, fi := range e.compFlows {
+	for _, fi := range c.compFlows {
 		if e.done[fi] {
 			continue
 		}
@@ -212,11 +212,11 @@ func (e *engine) solveSharded() {
 		e.compFlowsB = bucket(e.compFlowsB, comp(e.ufFind(elem)), fi)
 	}
 	if nComp < 2 {
-		e.fillLinks = append(e.fillLinks[:0], e.queue...)
-		e.fill(e.fillLinks, e.compFlows, live)
+		c.fillLinks = append(c.fillLinks[:0], c.queue...)
+		e.fill(c, c.fillLinks, c.compFlows, live)
 		return
 	}
-	for _, l := range e.queue {
+	for _, l := range c.queue {
 		if e.linkW[l] <= 0 {
 			// No fillable flows: the link cannot shape any rate this
 			// solve, so no component needs to scan it.
@@ -237,8 +237,8 @@ func (e *engine) solveSharded() {
 		linksB = append(linksB, nil)
 	}
 	par.Ranges(int(nComp), 1, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			e.fill(linksB[c], flowsB[c], len(flowsB[c]))
+		for ci := lo; ci < hi; ci++ {
+			e.fill(c, linksB[ci], flowsB[ci], len(flowsB[ci]))
 		}
 	})
 	e.compLinksB = linksB

@@ -72,13 +72,24 @@ func TestSimulateShardedCutParity(t *testing.T) {
 }
 
 // TestSimulateWorkerCountDeterminism pins the engine's strongest claim:
-// the sharded solve, the chunked refresh, and the parallel bottleneck
-// reduction are bit-identical under GOMAXPROCS=1 and GOMAXPROCS=4,
-// because every partition — shard components, chunk grids — is a pure
-// function of the problem, never of the worker count.
+// the component scheduler, the sharded solve, the chunked refresh, and
+// the parallel bottleneck reduction are bit-identical across
+// GOMAXPROCS={1,2,8}, because every partition — scheduler components,
+// merge barriers, shard components, chunk grids — is a pure function of
+// the problem, never of the worker count. Staggered starts split the
+// replay into components that merge mid-run, so the concurrent
+// component path (not just the single-timeline fast path) is under
+// test.
 func TestSimulateWorkerCountDeterminism(t *testing.T) {
 	forceSharded(t)
-	flows := steadyFlows(t, "cactus", 64)
+	base := steadyFlows(t, "cactus", 64)
+	// Stagger start times per source rank so the scheduler sees many
+	// live components whose timelines merge as later flows bridge them.
+	flows := make([]Flow, len(base))
+	for i, f := range base {
+		f.Start += float64(f.Src%16) * 1e-4
+		flows[i] = f
+	}
 	for name, router := range parityFabrics(t, "cactus", 64) {
 		net := fabricNetwork(router)
 		var regions []int32
@@ -96,14 +107,17 @@ func TestSimulateWorkerCountDeterminism(t *testing.T) {
 			}
 			return res
 		}
-		r1, r4 := run(1), run(4)
-		if r1.Makespan != r4.Makespan || r1.Unroutable != r4.Unroutable || r1.MaxLinkBytes != r4.MaxLinkBytes {
-			t.Errorf("%s: header differs across worker counts: %+v vs %+v", name, r1, r4)
-		}
-		for i := range r1.Flows {
-			if r1.Flows[i] != r4.Flows[i] {
-				t.Fatalf("%s: flow %d differs across worker counts: %+v vs %+v",
-					name, i, r1.Flows[i], r4.Flows[i])
+		r1 := run(1)
+		for _, workers := range []int{2, 8} {
+			rw := run(workers)
+			if r1.Makespan != rw.Makespan || r1.Unroutable != rw.Unroutable || r1.MaxLinkBytes != rw.MaxLinkBytes {
+				t.Errorf("%s: header differs at GOMAXPROCS=%d: %+v vs %+v", name, workers, r1, rw)
+			}
+			for i := range r1.Flows {
+				if r1.Flows[i] != rw.Flows[i] {
+					t.Fatalf("%s: flow %d differs at GOMAXPROCS=%d: %+v vs %+v",
+						name, i, workers, r1.Flows[i], rw.Flows[i])
+				}
 			}
 		}
 	}

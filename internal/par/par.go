@@ -8,6 +8,7 @@ package par
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -136,6 +137,55 @@ func (g *Group) Go(fn func()) {
 
 // Wait blocks until all tasks scheduled so far have completed.
 func (g *Group) Wait() { g.wg.Wait() }
+
+// RunPriority runs fn(i) for every i in [0,n) over pooled workers,
+// dispatching tasks in ascending (pri(i), i) order: workers pull the
+// next undone task from the sorted queue, so the most urgent tasks
+// (netsim component timelines with the earliest projected events, which
+// are the longest-running) start first and stragglers steal whatever
+// remains. The priority shapes only the start order — every task runs
+// to completion before RunPriority returns — so callers that reduce
+// per-index results in index order stay parallelism-independent. A
+// single task or a single worker runs inline, in sorted order.
+func RunPriority(n int, pri func(int) float64, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pri(order[a]), pri(order[b])
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	workers := Workers(n)
+	if n == 1 || workers == 1 {
+		for _, i := range order {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1)) - 1
+				if k >= n {
+					return
+				}
+				fn(order[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Ranges splits [0,n) into contiguous shards and calls fn(lo,hi) for each,
 // one shard per pooled worker. Shards are disjoint, so fn may write to

@@ -19,6 +19,12 @@ import (
 // the pooled FlowResult slices instead of allocating one per run.
 var simPool = sync.Pool{New: func() any { return new(netsim.Result) }}
 
+// flowsPool recycles the flow slices the Netsim stage replays. At
+// P=65536 the halo skeleton carries ~400k flows (~13 MB as a slice);
+// the three fabric replays of one app each rebuild that set, so the
+// backing arrays are worth keeping warm across stage invocations.
+var flowsPool = sync.Pool{New: func() any { return new([]netsim.Flow) }}
+
 // Fabric names accepted by the Netsim stage.
 const (
 	FabricHFAST = "hfast"
@@ -71,7 +77,9 @@ func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string
 	if err != nil {
 		return nil, err
 	}
-	flows := FlowsFor(prof, g)
+	fb := flowsPool.Get().(*[]netsim.Flow)
+	flows := appendFlows((*fb)[:0], prof, g)
+	defer func() { *fb = flows[:0]; flowsPool.Put(fb) }()
 	lp := netsim.DefaultLinkParams()
 	res := &FabricResult{Fabric: fabric, Procs: prof.Procs, Flows: len(flows)}
 
@@ -140,11 +148,17 @@ func (pl *Pipeline) runNetsim(ctx context.Context, ref ProfileRef, fabric string
 // one step's worth of bytes. Deterministic — ForEachEdge iterates in
 // increasing (i, j) order.
 func FlowsFor(prof *ipm.Profile, g *topology.Graph) []netsim.Flow {
+	return appendFlows(nil, prof, g)
+}
+
+// appendFlows is FlowsFor into a caller-owned buffer, so the Netsim
+// stage can replay from a pooled slice instead of allocating ~13 MB of
+// flows per fabric at P=65536.
+func appendFlows(flows []netsim.Flow, prof *ipm.Profile, g *topology.Graph) []netsim.Flow {
 	steps := prof.Params["steps"]
 	if steps <= 0 {
 		steps = 1
 	}
-	var flows []netsim.Flow
 	g.ForEachEdge(func(i, j int, e topology.Edge) {
 		if e.Msgs == 0 {
 			return

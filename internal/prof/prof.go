@@ -1,0 +1,55 @@
+// Package prof wires the runtime/pprof collectors into the CLI tools:
+// one call after flag parsing starts the CPU profile, and the returned
+// stop function flushes it and snapshots the heap on the way out. The
+// point is making `experiments -t ultra -cpuprofile ultra.pprof` the
+// one-step recipe for profiling a 65536-rank replay — no test harness,
+// no bespoke signal handling in each main.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the (possibly empty) file paths: cpuPath
+// receives a CPU profile collected until stop is called, memPath a heap
+// profile taken at stop after a forced GC (so the snapshot shows live
+// retention, not garbage awaiting collection). Either path may be empty
+// to skip that profile; with both empty, Start is a no-op and stop a
+// cheap nil check. The returned stop must be called exactly once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

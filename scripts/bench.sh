@@ -6,7 +6,7 @@
 #
 #   -o FILE     write the JSON snapshot to FILE (default: BENCH_PR7.json,
 #               BENCH_PR5.json with --pipeline, BENCH_PR6.json with
-#               --cluster, BENCH_PR7.json with --netsim)
+#               --cluster, BENCH_PR8.json with --netsim)
 #   --smoke     run every benchmark exactly once (-benchtime=1x); useful as
 #               a CI canary that the suite still compiles and runs
 #   --pipeline  run only the artifact-pipeline cold/warm pair: a P=256
@@ -19,11 +19,18 @@
 #               should land well under rebuild (one loopback HTTP fetch +
 #               artifact decode vs a full profile+assign+wire build)
 #   --netsim    run only the netsim engine benchmarks, with the ultra rows
-#               enabled (HFAST_TEST_ULTRA=1): the region-sharded engine
-#               replaying halo traffic at P=256/1024/4096/16384. The
-#               P=16384 rows are the partitioned engine's target scale and
+#               enabled (HFAST_TEST_ULTRA=1): the component-parallel engine
+#               replaying halo traffic at P=256/1024/4096/16384/65536. The
+#               P=65536 rows are the component scheduler's target scale and
 #               must complete (the retired reference solver is not run
-#               past P=1024; its quadratic event cost would take hours)
+#               past P=1024; its quadratic event cost would take hours).
+#               Also captures CPU and heap profiles of the benchmark run
+#               under bench-profiles/ (override with BENCH_PROFILE_DIR),
+#               ready for `go tool pprof bench-profiles/netsim.test
+#               bench-profiles/netsim.cpu.pprof`. Wall-clock speedups from
+#               the per-component engines need a many-core box — run this
+#               there; a 1-CPU runner still validates completion and the
+#               mesh allocation fix (allocs_per_op is worker-independent)
 #
 # Every run also regenerates BENCH.json: the consolidated trajectory of
 # all BENCH_PR*.json snapshots ({"trajectory": [{"tag": "PR2", ...}, ...]},
@@ -68,20 +75,29 @@ if [ -z "$out" ]; then
   out="BENCH_PR7.json"
   [ -n "$pipeline_only" ] && out="BENCH_PR5.json"
   [ -n "$cluster_only" ] && out="BENCH_PR6.json"
+  [ -n "$netsim_only" ] && out="BENCH_PR8.json"
 fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-run() { # run <package> <bench regexp>
-  echo ">> go test -bench '$2' $1" >&2
-  go test -run '^$' -bench "$2" -benchmem $benchtime "$1" \
-    | awk -v pkg="$1" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
+run() { # run <package> <bench regexp> [extra go test flags...]
+  local pkg="$1" re="$2"
+  shift 2
+  echo ">> go test -bench '$re' $pkg $*" >&2
+  go test -run '^$' -bench "$re" -benchmem $benchtime "$@" "$pkg" \
+    | awk -v pkg="$pkg" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
 }
 
 if [ -n "$netsim_only" ]; then
   export HFAST_TEST_ULTRA=1
-  run ./internal/netsim 'BenchmarkSimulate$'
+  profdir="${BENCH_PROFILE_DIR:-bench-profiles}"
+  mkdir -p "$profdir"
+  run ./internal/netsim 'BenchmarkSimulate$' \
+    -cpuprofile "$profdir/netsim.cpu.pprof" \
+    -memprofile "$profdir/netsim.mem.pprof" \
+    -o "$profdir/netsim.test"
+  echo "wrote $profdir/netsim.{cpu,mem}.pprof (+ netsim.test binary)" >&2
 elif [ -n "$cluster_only" ]; then
   run ./internal/server 'BenchmarkClusterPeerFill$|BenchmarkClusterRebuild$'
 elif [ -n "$pipeline_only" ]; then
