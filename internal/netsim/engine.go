@@ -95,11 +95,41 @@ type compState struct {
 	moved     []int32
 	fillLinks []int32
 
-	// allowShards enables the region-sharded water-fill (shard.go). Only
-	// the single-component fast path sets it: the sharded solve's
-	// region union-find is engine-level state, and a multi-component run
-	// has already split the big solves along the same boundaries.
-	allowShards bool
+	// Fixed-grid chunk buffers for the chunked refresh and the parallel
+	// witness scan: buffer ci holds chunk ci's output, concatenated in
+	// chunk order afterwards so the merged list is identical at any
+	// worker count. Component-owned (not engine-level) because
+	// concurrently advancing components chunk their own solve sets.
+	refBufs [][]int32
+	witBufs [][]int32
+
+	// Region-sharded solve scratch (shard.go). Per component so sharded
+	// water-fills can run from inside concurrently advancing components:
+	// the union-find over regions + boundary flows and the component
+	// buckets are rebuilt every sharded solve, so they carry no state
+	// between solves and only need to be private to the solving
+	// component.
+	ufParent     []int32   // union-find over regions + boundary flows
+	rootComp     []int32   // union-find root → dense component id
+	rootCompMark []int32   // root discovered this solve
+	compFlowsB   [][]int32 // per-component flow buckets
+	compLinksB   [][]int32 // per-component link buckets
+
+	// shardSkip/shardBackoff throttle the sharded solve when the traffic
+	// chains every region together: a solve whose partition collapses to
+	// one component paid the union-find and bucketing for nothing, so
+	// after a collapse the next shardSkip qualifying solves run flat,
+	// with the backoff doubling up to shardBackoffMax while collapses
+	// repeat. Counters advance only with this component's own solve
+	// sequence — a pure function of the problem, never of the worker
+	// count.
+	shardSkip    int
+	shardBackoff int
+
+	// stormAdmits counts batched-admission fast-path solves (one per
+	// same-timestamp arrival group landing on an idle component) for the
+	// white-box admission tests.
+	stormAdmits int
 
 	merged bool // absorbed into a merge; no longer runnable
 }
@@ -147,6 +177,7 @@ type engine struct {
 	linkS       []float64 // consumed bandwidth: Σ weight·rate over active flows
 	linkResid   []float64 // unconsumed bandwidth
 	linkMaxRate []float64 // largest per-share rate among active flows
+	linkSat     []uint8   // 1 iff resid ≤ satSlack·bw, maintained with linkResid
 
 	// Epoch-stamped recompute scratch. Component timelines stamp these
 	// with their own counters; disjointness keeps the stamps from
@@ -167,19 +198,16 @@ type engine struct {
 
 	// Region sharding (shard.go). nShards > 1 turns on the sharded
 	// water-fill for large affected sets: the affected set is split into
-	// region-granular connected components that fill concurrently.
-	// Engine-level (not per compState): only the single-component fast
-	// path shards its solves.
+	// region-granular connected components that fill concurrently. Any
+	// component timeline may shard its solves — the union-find and
+	// bucket scratch live on the compState, and the per-link owner slabs
+	// below are safe to share because components touch disjoint links
+	// (each solve clears its own queue's owner marks during capacity
+	// prep, so the slabs carry no state between solves).
 	nShards       int
 	linkRegion    []int32 // region id per link, or -1 (hinter-owned)
-	solveEpoch    int32
-	ufParent      []int32 // union-find over regions + boundary flows
 	linkOwner     []int32 // first boundary flow seen on a regionless link
-	linkOwnerMark []int32
-	rootComp      []int32 // union-find root → dense component id
-	rootCompMark  []int32
-	compFlowsB    [][]int32 // per-component flow buckets
-	compLinksB    [][]int32 // per-component link buckets
+	linkOwnerMark []int32 // owner stamped during the current solve
 
 	// Component scheduling state (scheduler.go).
 	comps      []compState
@@ -235,6 +263,13 @@ func growI32(s []int32, n int) []int32 {
 func growBool(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
 	}
 	return s[:n]
 }
@@ -364,8 +399,20 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 	} else {
 		clear(e.groups)
 	}
-	e.sims = e.sims[:0]
-	e.weight = e.weight[:0]
+	// Super-flows are bounded by the raw flow count: pre-size once so a
+	// cold storm-scale build pays one allocation instead of a doubling
+	// cascade (the P=65536 halo grew e.sims through ~160 MB of retired
+	// backing arrays before this).
+	if cap(e.sims) < nf {
+		e.sims = make([]superFlow, 0, nf)
+	} else {
+		e.sims = e.sims[:0]
+	}
+	if cap(e.weight) < nf {
+		e.weight = make([]int32, 0, nf)
+	} else {
+		e.weight = e.weight[:0]
+	}
 	pathTotal := 0
 	for i, f := range flows {
 		if f.Bytes < 0 {
@@ -425,16 +472,14 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 	// never collide while epochs only grow, so reused memory needs no
 	// clearing. Grown memory arrives zeroed, which reads as "epoch 0" —
 	// keep real epochs strictly positive.
-	if e.epochHW > 1<<30 || e.solveEpoch > 1<<30 {
-		e.epochHW, e.solveEpoch = 0, 0
+	if e.epochHW > 1<<30 {
+		e.epochHW = 0
 		clearI32 := func(s []int32) { clear(s[:cap(s)]) }
 		clearI32(e.linkMark[:0])
 		clearI32(e.linkPull[:0])
 		clearI32(e.flowMark[:0])
 		clearI32(e.fixedMark[:0])
 		clearI32(e.chkMark[:0])
-		clearI32(e.linkOwnerMark[:0])
-		clearI32(e.rootCompMark[:0])
 	}
 	e.flowMark = growI32(e.flowMark, ns)
 	e.fixedMark = growI32(e.fixedMark, ns)
@@ -444,6 +489,7 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 	e.linkS = growF64(e.linkS, nLinks)
 	e.linkResid = growF64(e.linkResid, nLinks)
 	e.linkMaxRate = growF64(e.linkMaxRate, nLinks)
+	e.linkSat = growU8(e.linkSat, nLinks)
 	e.linkOff = growI32(e.linkOff, nLinks)
 	e.linkLen = growI32(e.linkLen, nLinks)
 	e.linkWeight = growI32(e.linkWeight, nLinks)
@@ -459,6 +505,11 @@ func (e *engine) build(net *Network, router Router, flows []Flow, regions []int3
 		e.linkS[l] = 0
 		e.linkResid[l] = bw
 		e.linkMaxRate[l] = 0
+		if bw <= satSlack*bw {
+			e.linkSat[l] = 1
+		} else {
+			e.linkSat[l] = 0
+		}
 		e.linkLen[l] = 0
 		e.linkWeight[l] = 0
 	}
@@ -550,15 +601,15 @@ func (e *engine) run(c *compState, horizon float64) error {
 		}
 		if tNext >= horizon {
 			if math.IsInf(horizon, 1) && c.activeCount > 0 {
-				return fmt.Errorf("netsim: component %d: %d flows stalled with zero rate after %d events (cap %d, t=%.6g)",
-					c.id, c.activeCount, c.events, c.maxEvents, c.now)
+				return fmt.Errorf("netsim: component %d: %d flows stalled with zero rate after %d events (cap %d, t=%.6g, horizon=%g)",
+					c.id, c.activeCount, c.events, c.maxEvents, c.now, horizon)
 			}
 			return nil
 		}
 		c.events++
 		if c.events > c.maxEvents {
-			return fmt.Errorf("netsim: component %d: no progress after %d events (cap %d for %d coalesced flows, t=%.6g, %d active)",
-				c.id, c.events, c.maxEvents, c.nFlows, c.now, c.activeCount)
+			return fmt.Errorf("netsim: component %d: no progress after %d events (cap %d for %d coalesced flows, t=%.6g, horizon=%g, %d active)",
+				c.id, c.events, c.maxEvents, c.nFlows, c.now, horizon, c.activeCount)
 		}
 		c.now = tNext
 
@@ -577,7 +628,23 @@ func (e *engine) run(c *compState, horizon float64) error {
 			c.heapPop()
 			e.retire(c, top.flow, true)
 		}
-		// Admit arrivals due now.
+		// Admit arrivals due now. A same-timestamp group landing on an
+		// idle component — no surviving flows, nothing retired at this
+		// instant — is an admission storm (t=0 of a synchronized replay
+		// being the giant case): the whole group seeds one batched solve
+		// with no frozen background, so the per-event witness machinery
+		// is skipped entirely (recomputeStorm). Any other event admits
+		// through the general seed-driven recompute.
+		if c.activeCount == 0 && len(c.seeds) == 0 &&
+			c.next < len(c.order) && e.sims[c.order[c.next]].start <= c.now+1e-15 {
+			lo := c.next
+			for c.next < len(c.order) && e.sims[c.order[c.next]].start <= c.now+1e-15 {
+				e.admitQuiet(c, c.order[c.next])
+				c.next++
+			}
+			e.recomputeStorm(c, c.order[lo:c.next])
+			continue
+		}
 		for c.next < len(c.order) && e.sims[c.order[c.next]].start <= c.now+1e-15 {
 			e.admit(c, c.order[c.next])
 			c.next++
@@ -643,6 +710,25 @@ func (e *engine) admit(c *compState, fi int32) {
 	}
 }
 
+// admitQuiet is admit without seeding: the batched-admission path
+// (recomputeStorm) derives its solve set from the whole batch at once,
+// so per-flow seed appends — one per path link, the t=0 storm's single
+// largest allocation churn — are skipped.
+func (e *engine) admitQuiet(c *compState, fi int32) {
+	sf := &e.sims[fi]
+	e.rate[fi] = 0
+	e.lastT[fi] = c.now
+	c.activeCount++
+	w := e.weight[fi]
+	for k, l := range sf.path {
+		p := e.linkLen[l]
+		sf.linkPos[k] = p
+		e.refs[e.linkOff[l]+p] = linkRef{flow: fi, slot: int32(k)}
+		e.linkLen[l]++
+		e.linkWeight[l] += w
+	}
+}
+
 // satSlack is the residual under which a link counts as saturated, and
 // rateBand the relative band within which two rates count equal, for the
 // bottleneck-witness check. Both are far above float noise and far below
@@ -652,9 +738,13 @@ const (
 	rateBand = 1e-9
 )
 
-// saturated reports whether link l has no meaningful slack left.
+// saturated reports whether link l has no meaningful slack left. The
+// verdict is precomputed into a byte wherever linkResid is written
+// (build, refreshLink): the witness machinery asks this per flow × path
+// link, so a byte load here beats re-deriving the float comparison
+// millions of times per storm-scale recompute.
 func (e *engine) saturated(l int32) bool {
-	return e.linkResid[l] <= satSlack*e.linkBW[l]
+	return e.linkSat[l] != 0
 }
 
 // pullLink adds l to the solve set and pulls every flow on it into the
@@ -714,13 +804,27 @@ func (e *engine) settleNew(c *compState, settled int) int {
 // affected sets — the steady state of the event loop — run the flat
 // serial fill; large ones (the t=0 admission storm, cascade avalanches)
 // run region-sharded over par workers when the fabric provided a
-// partition (shard.go).
-func (e *engine) solve(c *compState) {
-	if c.allowShards && e.nShards > 1 && len(c.compFlows) >= shardedSolveMin {
-		e.solveSharded(c)
-		return
+// partition (shard.go). Any component may shard — its union-find and
+// bucket scratch are compState-owned — but a solve whose partition
+// keeps collapsing to one component (traffic chaining every region
+// together) backs off to the flat fill for shardSkip solves, since the
+// collapsed prep is pure overhead. The skip counter decrements once per
+// qualifying solve, a pure function of the component's own solve
+// sequence, so the flat/sharded choice never depends on worker count.
+//
+// solve returns the number of live (not-yet-done) flows in the affected
+// set: when it equals the component's active count, the solve had no
+// frozen background and its result is the component-global max-min —
+// recompute uses that to skip the witness machinery outright.
+func (e *engine) solve(c *compState) int {
+	if e.nShards > 1 && len(c.compFlows) >= shardedSolveMin {
+		if c.shardSkip > 0 {
+			c.shardSkip--
+		} else {
+			return e.solveSharded(c)
+		}
 	}
-	e.solveAffected(c)
+	return e.solveAffected(c)
 }
 
 // solveAffected is the flat water-fill: every frozen flow is fixed
@@ -729,8 +833,8 @@ func (e *engine) solve(c *compState) {
 // step is link-driven — every affected flow crossing a within-epsilon
 // bottleneck link is fixed at the bottleneck share by walking those
 // links' segments — so a solve costs O(|A|·pathlen + |T|·rounds),
-// independent of network size.
-func (e *engine) solveAffected(c *compState) {
+// independent of network size. Returns the live affected-flow count.
+func (e *engine) solveAffected(c *compState) int {
 	for _, l := range c.queue {
 		e.linkCap[l] = e.linkBW[l] - e.linkS[l]
 		e.linkW[l] = 0
@@ -755,6 +859,7 @@ func (e *engine) solveAffected(c *compState) {
 	}
 	c.fillLinks = append(c.fillLinks[:0], c.queue...)
 	e.fill(c, c.fillLinks, c.compFlows, live)
+	return live
 }
 
 // fillParMin is the live link-list length above which fill's bottleneck
@@ -880,19 +985,43 @@ func (e *engine) refreshQueue(c *compState) {
 		}
 		return
 	}
+	// Per-chunk moved lists land in component-owned fixed-grid buffers
+	// (buffer ci ↔ chunk ci) and concatenate in chunk order: identical
+	// at any worker count, and — unlike a fresh slice per chunk — free
+	// of per-pass allocation once the buffers reach high water.
+	nc := par.NumChunks(n, refreshChunk)
+	if cap(c.refBufs) < nc {
+		bufs := make([][]int32, nc)
+		copy(bufs, c.refBufs)
+		c.refBufs = bufs
+	}
+	c.refBufs = c.refBufs[:nc]
 	queue := c.queue
-	lists := par.MapChunks(n, refreshChunk, func(lo, hi int) []int32 {
-		var mv []int32
+	par.ForChunks(n, refreshChunk, func(ci, lo, hi int) {
+		mv := c.refBufs[ci][:0]
 		for _, l := range queue[lo:hi] {
 			if e.refreshLink(l) {
 				mv = append(mv, l)
 			}
 		}
-		return mv
+		c.refBufs[ci] = mv
 	})
-	for _, mv := range lists {
+	for _, mv := range c.refBufs {
 		c.moved = append(c.moved, mv...)
 	}
+}
+
+// refreshQuiet recommits consumed/slack/max-rate for every solve-set
+// link without tracking which ones moved — the batched-admission path
+// runs no witness scan, so the moved list would be dead weight. Links
+// write disjoint state, so the chunk fan-out needs no reduction at all.
+func (e *engine) refreshQuiet(c *compState) {
+	queue := c.queue
+	par.ForChunks(len(queue), refreshChunk, func(_, lo, hi int) {
+		for _, l := range queue[lo:hi] {
+			e.refreshLink(l)
+		}
+	})
 }
 
 // refreshLink recommits link l's consumed/slack/max-rate state and
@@ -912,7 +1041,120 @@ func (e *engine) refreshLink(l int32) bool {
 	}
 	changed := resid != e.linkResid[l] || maxR != e.linkMaxRate[l]
 	e.linkS[l], e.linkResid[l], e.linkMaxRate[l] = s, resid, maxR
+	if resid <= satSlack*e.linkBW[l] {
+		e.linkSat[l] = 1
+	} else {
+		e.linkSat[l] = 0
+	}
 	return changed
+}
+
+// flowHasWitness reports whether flow fi holds a max-min bottleneck
+// certificate: a saturated path link on which its rate is maximal. The
+// check reads only committed link state (resid, max-rate) and flow
+// rates, none of which the witness-scan apply phase mutates — which is
+// what makes the scan safe to evaluate in parallel.
+func (e *engine) flowHasWitness(fi int32) bool {
+	r := e.rate[fi] * (1 + rateBand)
+	for _, l2 := range e.sims[fi].path {
+		if e.saturated(int32(l2)) && e.linkMaxRate[l2] <= r {
+			return true
+		}
+	}
+	return false
+}
+
+// witnessParMin is the moved-link count above which the bottleneck-
+// witness scan fans out over fixed par chunks. A variable so tests can
+// force small scans through the parallel path.
+var witnessParMin = 8192
+
+// witnessExpand runs the bottleneck-witness scan over the moved links:
+// every flow on a moved link (frozen flows included — their certificate
+// may have lived here) is checked for a witness, and a flow without one
+// pulls its saturated path links' flows into the affected set. Returns
+// whether the affected set grew.
+//
+// Large scans split the moved list over fixed par chunks. The evaluate
+// phase is pure — flowHasWitness reads only state that is frozen for
+// the duration of the scan — so each chunk collects its witness-failing
+// flows into a component-owned buffer (no dedup: duplicates across
+// chunks evaluate to the same verdict), and the apply phase then walks
+// the buffers serially in chunk order with the same chkMark dedup the
+// serial loop uses. First-occurrence order of failing flows matches the
+// serial scan exactly, so the pulls — and every float after them — are
+// bitwise identical at any worker count.
+func (e *engine) witnessExpand(c *compState) bool {
+	c.chkEpoch++
+	ep := c.epoch
+	expanded := false
+	apply := func(fi int32) {
+		// No bottleneck witness: the flow deserves more, and the
+		// higher-rate flows on its saturated links are what block it —
+		// pull those links' flows into A and re-solve.
+		for _, l2 := range e.sims[fi].path {
+			if e.saturated(int32(l2)) {
+				e.pullLink(c, int32(l2))
+			}
+		}
+		if e.flowMark[fi] != ep {
+			e.flowMark[fi] = ep
+			c.compFlows = append(c.compFlows, fi)
+		}
+		expanded = true
+	}
+	n := len(c.moved)
+	if n < witnessParMin {
+		for _, l := range c.moved {
+			for _, ref := range e.activeRefs(l) {
+				fi := ref.flow
+				if e.chkMark[fi] == c.chkEpoch {
+					continue
+				}
+				e.chkMark[fi] = c.chkEpoch
+				if e.done[fi] || e.rate[fi] <= 0 {
+					continue
+				}
+				if !e.flowHasWitness(fi) {
+					apply(fi)
+				}
+			}
+		}
+		return expanded
+	}
+	nc := par.NumChunks(n, par.Chunk)
+	if cap(c.witBufs) < nc {
+		bufs := make([][]int32, nc)
+		copy(bufs, c.witBufs)
+		c.witBufs = bufs
+	}
+	c.witBufs = c.witBufs[:nc]
+	moved := c.moved
+	par.ForChunks(n, par.Chunk, func(ci, lo, hi int) {
+		buf := c.witBufs[ci][:0]
+		for _, l := range moved[lo:hi] {
+			for _, ref := range e.activeRefs(l) {
+				fi := ref.flow
+				if e.done[fi] || e.rate[fi] <= 0 {
+					continue
+				}
+				if !e.flowHasWitness(fi) {
+					buf = append(buf, fi)
+				}
+			}
+		}
+		c.witBufs[ci] = buf
+	})
+	for _, buf := range c.witBufs {
+		for _, fi := range buf {
+			if e.chkMark[fi] == c.chkEpoch {
+				continue
+			}
+			e.chkMark[fi] = c.chkEpoch
+			apply(fi)
+		}
+	}
+	return expanded
 }
 
 // recompute re-solves max-min rates after an event, touching only the
@@ -927,7 +1169,6 @@ func (e *engine) refreshLink(l int32) bool {
 // what lets the engine skip them entirely.
 func (e *engine) recompute(c *compState) {
 	c.epoch++
-	ep := c.epoch
 	c.queue = c.queue[:0]
 	c.compFlows = c.compFlows[:0]
 
@@ -939,7 +1180,7 @@ func (e *engine) recompute(c *compState) {
 	}
 
 	for pass := 0; ; pass++ {
-		e.solve(c)
+		live := e.solve(c)
 
 		// Commit candidate rates, then refresh consumed/slack/max-rate
 		// on every solve-set link — witness checks must never read a
@@ -950,47 +1191,18 @@ func (e *engine) recompute(c *compState) {
 				e.rate[fi] = e.newRate[fi]
 			}
 		}
-		e.refreshQueue(c)
-		expanded := false
-		c.chkEpoch++
-		for _, l := range c.moved {
-			// Witness-check every flow on a moved link (frozen flows
-			// included: their certificate may have lived here).
-			for _, ref := range e.activeRefs(l) {
-				fi := ref.flow
-				if e.chkMark[fi] == c.chkEpoch {
-					continue
-				}
-				e.chkMark[fi] = c.chkEpoch
-				if e.done[fi] || e.rate[fi] <= 0 {
-					continue
-				}
-				witness := false
-				for _, l2 := range e.sims[fi].path {
-					if e.saturated(int32(l2)) && e.linkMaxRate[l2] <= e.rate[fi]*(1+rateBand) {
-						witness = true
-						break
-					}
-				}
-				if witness {
-					continue
-				}
-				// No bottleneck witness: the flow deserves more, and the
-				// higher-rate flows on its saturated links are what block
-				// it — pull those links' flows into A and re-solve.
-				for _, l2 := range e.sims[fi].path {
-					if e.saturated(int32(l2)) {
-						e.pullLink(c, int32(l2))
-					}
-				}
-				if e.flowMark[fi] != ep {
-					e.flowMark[fi] = ep
-					c.compFlows = append(c.compFlows, fi)
-				}
-				expanded = true
-			}
+		if live == c.activeCount {
+			// The affected set engulfed every active flow in the
+			// component: the solve ran with no frozen background, so it
+			// is the component-global max-min and the witness scan can
+			// prove nothing — any link it could pull is already in the
+			// solve set, any flow already in A. Same argument as the
+			// batched-admission path; recommit link state and stop.
+			e.refreshQuiet(c)
+			break
 		}
-		if !expanded {
+		e.refreshQueue(c)
+		if !e.witnessExpand(c) {
 			break
 		}
 		settled = e.settleNew(c, settled)
@@ -1035,6 +1247,88 @@ func (e *engine) recompute(c *compState) {
 			c.heapPush(heapEntry{t: c.now + e.remaining[fi]/e.rate[fi], flow: fi, seq: e.seq[fi]})
 		}
 	}
+	e.maybeCompact(c)
+}
+
+// recomputeStorm is the batched-admission solve: the whole
+// same-timestamp arrival group just admitted onto an idle component via
+// admitQuiet. With no surviving flows, the affected set is exactly the
+// batch and the frozen background is empty, so one water-fill computes
+// the component-global max-min allocation outright — no per-flow seed
+// lists, no settle loop, and no bottleneck-witness passes (the witness
+// machinery exists to revalidate flows *outside* the affected set, and
+// here there are none). This is what turns the t=0 storm of a
+// synchronized replay from tens of per-admission cascades into a single
+// solve.
+func (e *engine) recomputeStorm(c *compState, batch []int32) {
+	c.epoch++
+	ep := c.epoch
+	c.queue = c.queue[:0]
+	c.compFlows = c.compFlows[:0]
+
+	for _, fi := range batch {
+		e.lastT[fi] = c.now
+		e.oldRate[fi] = 0
+		if e.remaining[fi] < completionEpsilon {
+			// Zero-byte flow: finishes the instant it starts, exactly as
+			// settleNew would retire it on the general path. No seeding —
+			// every link it touched is already in the solve set below.
+			e.retire(c, fi, false)
+		}
+		e.flowMark[fi] = ep
+		c.compFlows = append(c.compFlows, fi)
+		for _, l := range e.sims[fi].path {
+			if e.linkMark[l] != ep {
+				e.linkMark[l] = ep
+				c.queue = append(c.queue, int32(l))
+			}
+		}
+	}
+
+	e.solve(c)
+	for _, fi := range c.compFlows {
+		if !e.done[fi] {
+			e.rate[fi] = e.newRate[fi]
+		}
+	}
+	e.refreshQuiet(c)
+
+	for _, fi := range c.compFlows {
+		if e.done[fi] || e.rate[fi] == e.oldRate[fi] {
+			continue
+		}
+		e.seq[fi]++
+		if e.rate[fi] > 0 {
+			c.heapPush(heapEntry{t: c.now + e.remaining[fi]/e.rate[fi], flow: fi, seq: e.seq[fi]})
+		}
+	}
+	c.stormAdmits++
+	e.maybeCompact(c)
+}
+
+// maybeCompact sweeps stale entries out of a component heap once they
+// outnumber the live ones 4:1 (and the heap is big enough to matter).
+// Every rate change pushes a fresh entry and strands the old one, so a
+// storm-scale component re-projecting tens of thousands of flows per
+// recompute grows its heap backing array far past the live set; the
+// sweep keeps only entries whose seq is current, then re-heapifies.
+// Pop order is unchanged — (t, flow) totally orders live entries and
+// stale ones are discarded on pop either way — and the trigger depends
+// only on heap length and active count, both pure functions of the
+// event history, so compaction never perturbs determinism.
+func (e *engine) maybeCompact(c *compState) {
+	if len(c.heap) < 1024 || len(c.heap) < 4*(c.activeCount+1) {
+		return
+	}
+	w := 0
+	for _, h := range c.heap {
+		if e.seq[h.flow] == h.seq && !e.done[h.flow] {
+			c.heap[w] = h
+			w++
+		}
+	}
+	c.heap = c.heap[:w]
+	c.heapInit()
 }
 
 func (c *compState) heapPush(h heapEntry) {

@@ -107,7 +107,7 @@ func (e *engine) newComp() *compState {
 	c.epoch, c.chkEpoch = e.epochHW, e.epochHW
 	c.queue, c.compFlows = c.queue[:0], c.compFlows[:0]
 	c.seeds, c.moved, c.fillLinks = c.seeds[:0], c.moved[:0], c.fillLinks[:0]
-	c.allowShards = false
+	c.shardSkip, c.shardBackoff, c.stormAdmits = 0, 0, 0
 	c.merged = false
 	return c
 }
@@ -304,12 +304,9 @@ func (e *engine) partition() {
 		c.maxEvents = maxEventCap(c.nFlows)
 		nd.comp = c.id
 	}
-	// With a single component and no pending merges the run is exactly
-	// the serial timeline, and the engine-level region-sharded solve is
-	// safe (no concurrent component shares its scratch).
-	if len(e.comps) == 1 && len(e.mergeNodes) == 0 {
-		e.comps[0].allowShards = true
-	}
+	// Every component may region-shard its own solves: the sharding
+	// scratch is compState-owned (shard.go), so no gate on the component
+	// count is needed here.
 }
 
 func appendUniqueI32(s []int32, v int32) []int32 {

@@ -112,9 +112,8 @@ func TestSimulateMergeDeterminism(t *testing.T) {
 }
 
 // TestPartitionStructure white-boxes the build-time component forest for
-// the scenario: four initial components (E folds away structurally),
-// three materialized merge barriers, and no region sharding on the
-// multi-component path.
+// the scenario: four initial components (E folds away structurally) and
+// three materialized merge barriers.
 func TestPartitionStructure(t *testing.T) {
 	net, router, flows := mergeScenario()
 	e := enginePool.Get().(*engine)
@@ -127,11 +126,6 @@ func TestPartitionStructure(t *testing.T) {
 	}
 	if len(e.mergeNodes) != 3 {
 		t.Errorf("merge barriers: %d, want 3", len(e.mergeNodes))
-	}
-	for i := range e.comps {
-		if e.comps[i].allowShards {
-			t.Errorf("component %d allows region sharding on a multi-component run", i)
-		}
 	}
 	// Barrier times must be the two bridge instants, non-decreasing.
 	var times []float64
@@ -169,9 +163,9 @@ func TestStaggeredFabricMergeParity(t *testing.T) {
 }
 
 // TestStallErrorIsDiagnosable pins the stall diagnostics: a flow with an
-// empty path can never drain, and the error must name the component and
-// its event budget so a stalled 65536-rank replay is actionable without
-// a rerun.
+// empty path can never drain, and the error must name the component, its
+// event budget, and the clock/horizon it stalled at, so a stalled
+// 65536-rank replay is actionable without a rerun.
 func TestStallErrorIsDiagnosable(t *testing.T) {
 	net := NewNetwork()
 	net.AddLink("unused", 1e9)
@@ -183,7 +177,7 @@ func TestStallErrorIsDiagnosable(t *testing.T) {
 		t.Fatal("expected stall error")
 	}
 	msg := err.Error()
-	for _, want := range []string{"component 0", "stalled", "events", "cap"} {
+	for _, want := range []string{"component 0", "stalled", "events", "cap", "t=", "horizon=+Inf"} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("stall error %q missing %q", msg, want)
 		}

@@ -90,21 +90,27 @@ func (e *engine) initShards(regions []int32, nLinks int) {
 	e.linkRegion = regions
 }
 
-// ufFind is the union-find lookup (path halving) over e.ufParent.
-func (e *engine) ufFind(x int32) int32 {
-	for e.ufParent[x] != x {
-		e.ufParent[x] = e.ufParent[e.ufParent[x]]
-		x = e.ufParent[x]
+// ufFind is the union-find lookup (path halving) over c.ufParent.
+func (c *compState) ufFind(x int32) int32 {
+	for c.ufParent[x] != x {
+		c.ufParent[x] = c.ufParent[c.ufParent[x]]
+		x = c.ufParent[x]
 	}
 	return x
 }
 
-func (e *engine) ufUnion(a, b int32) {
-	ra, rb := e.ufFind(a), e.ufFind(b)
+func (c *compState) ufUnion(a, b int32) {
+	ra, rb := c.ufFind(a), c.ufFind(b)
 	if ra != rb {
-		e.ufParent[rb] = ra
+		c.ufParent[rb] = ra
 	}
 }
+
+// shardBackoffMax caps the collapse backoff: after repeated one-component
+// partitions a qualifying solve still re-probes the sharded path at least
+// every shardBackoffMax solves, so a traffic phase change that unchains
+// the regions is picked up without a full replay.
+const shardBackoffMax = 256
 
 // solveSharded is the region-sharded water-fill for large affected sets.
 // It prepares capacities exactly like solveAffected, then partitions the
@@ -115,14 +121,23 @@ func (e *engine) ufUnion(a, b int32) {
 // and flows, so the max-min fill over their union equals the fills over
 // each component run independently — that is what makes running them in
 // parallel exact, not approximate. Flows whose boundary couplings chain
-// every region together collapse to one component and solve flat; the
-// recompute witness pass downstream reconciles shard results against the
-// frozen background either way, re-triggering exactly the flows whose
-// boundary slack the solve moved.
-func (e *engine) solveSharded(c *compState) {
+// every region together collapse to one component and solve flat (arming
+// the compState's collapse backoff so the next few qualifying solves
+// skip the wasted partitioning); the recompute witness pass downstream
+// reconciles shard results against the frozen background either way,
+// re-triggering exactly the flows whose boundary slack the solve moved.
+//
+// Any component timeline may call this concurrently with the others: the
+// union-find and bucket scratch live on the compState, and the per-link
+// owner slabs are engine-shared only because components touch disjoint
+// links. Owner marks are 0/1 flags cleared during this solve's own
+// capacity prep — every link a live affected flow can touch is in
+// c.queue — so the slabs carry no state between solves.
+func (e *engine) solveSharded(c *compState) int {
 	for _, l := range c.queue {
 		e.linkCap[l] = e.linkBW[l] - e.linkS[l]
 		e.linkW[l] = 0
+		e.linkOwnerMark[l] = 0
 	}
 	live := 0
 	for _, fi := range c.compFlows {
@@ -145,8 +160,6 @@ func (e *engine) solveSharded(c *compState) {
 
 	// Union regions into components. Boundary flows get one union-find
 	// element each, tacked after the region ids.
-	e.solveEpoch++
-	sep := e.solveEpoch
 	nb := 0
 	for _, fi := range c.compFlows {
 		if !e.done[fi] && e.flowShard[fi] < 0 {
@@ -154,9 +167,12 @@ func (e *engine) solveSharded(c *compState) {
 		}
 	}
 	nElems := e.nShards + nb
-	e.ufParent = growI32(e.ufParent, nElems)
-	for i := range e.ufParent {
-		e.ufParent[i] = int32(i)
+	c.ufParent = growI32(c.ufParent, nElems)
+	c.rootComp = growI32(c.rootComp, nElems)
+	c.rootCompMark = growI32(c.rootCompMark, nElems)
+	for i := 0; i < nElems; i++ {
+		c.ufParent[i] = int32(i)
+		c.rootCompMark[i] = 0
 	}
 	be := int32(e.nShards)
 	for _, fi := range c.compFlows {
@@ -167,34 +183,41 @@ func (e *engine) solveSharded(c *compState) {
 		be++
 		for _, l := range e.sims[fi].path {
 			if r := e.linkRegion[l]; r >= 0 {
-				e.ufUnion(elem, r)
-			} else if e.linkOwnerMark[l] == sep {
-				e.ufUnion(elem, e.linkOwner[l])
+				c.ufUnion(elem, r)
+			} else if e.linkOwnerMark[l] == 1 {
+				c.ufUnion(elem, e.linkOwner[l])
 			} else {
-				e.linkOwnerMark[l] = sep
+				e.linkOwnerMark[l] = 1
 				e.linkOwner[l] = elem
 			}
 		}
 	}
 
 	// Bucket flows and links by component root, dense ids in discovery
-	// order so the grouping is deterministic.
-	e.rootComp = growI32(e.rootComp, nElems)
-	e.rootCompMark = growI32(e.rootCompMark, nElems)
+	// order so the grouping is deterministic. Buckets reuse their inner
+	// backing arrays across solves: extending len within cap revives the
+	// retained slice header at length zero instead of allocating, which
+	// is what keeps a storm-scale cascade from re-growing thousands of
+	// bucket slices every pass.
 	nComp := int32(0)
 	comp := func(root int32) int32 {
-		if e.rootCompMark[root] != sep {
-			e.rootCompMark[root] = sep
-			e.rootComp[root] = nComp
+		if c.rootCompMark[root] == 0 {
+			c.rootCompMark[root] = 1
+			c.rootComp[root] = nComp
 			nComp++
 		}
-		return e.rootComp[root]
+		return c.rootComp[root]
 	}
-	e.compFlowsB = e.compFlowsB[:0]
-	e.compLinksB = e.compLinksB[:0]
+	c.compFlowsB = c.compFlowsB[:0]
+	c.compLinksB = c.compLinksB[:0]
 	bucket := func(lists [][]int32, ci int32, v int32) [][]int32 {
 		for int32(len(lists)) <= ci {
-			lists = append(lists, nil)
+			if len(lists) < cap(lists) {
+				lists = lists[:len(lists)+1]
+				lists[len(lists)-1] = lists[len(lists)-1][:0]
+			} else {
+				lists = append(lists, nil)
+			}
 		}
 		lists[ci] = append(lists[ci], v)
 		return lists
@@ -209,13 +232,26 @@ func (e *engine) solveSharded(c *compState) {
 			elem = be
 			be++
 		}
-		e.compFlowsB = bucket(e.compFlowsB, comp(e.ufFind(elem)), fi)
+		c.compFlowsB = bucket(c.compFlowsB, comp(c.ufFind(elem)), fi)
 	}
 	if nComp < 2 {
+		// Collapsed partition: the union-find and bucketing bought
+		// nothing. Arm the backoff — doubling while collapses repeat —
+		// so the next shardSkip qualifying solves go straight to the
+		// flat fill.
+		c.shardBackoff *= 2
+		if c.shardBackoff < 2 {
+			c.shardBackoff = 2
+		}
+		if c.shardBackoff > shardBackoffMax {
+			c.shardBackoff = shardBackoffMax
+		}
+		c.shardSkip = c.shardBackoff
 		c.fillLinks = append(c.fillLinks[:0], c.queue...)
 		e.fill(c, c.fillLinks, c.compFlows, live)
-		return
+		return live
 	}
+	c.shardBackoff, c.shardSkip = 0, 0
 	for _, l := range c.queue {
 		if e.linkW[l] <= 0 {
 			// No fillable flows: the link cannot shape any rate this
@@ -226,20 +262,26 @@ func (e *engine) solveSharded(c *compState) {
 		if elem < 0 {
 			elem = e.linkOwner[l] // stamped above: the link has live flows
 		}
-		e.compLinksB = bucket(e.compLinksB, comp(e.ufFind(elem)), int32(l))
+		c.compLinksB = bucket(c.compLinksB, comp(c.ufFind(elem)), int32(l))
 	}
 
-	// Fill the components concurrently. Each component's slices are its
-	// own; linkCap/linkW/newRate/fixedMark entries are disjoint across
-	// components, so the workers never share mutable state.
-	flowsB, linksB := e.compFlowsB, e.compLinksB
+	// Fill the shard components concurrently. Each component's slices
+	// are its own; linkCap/linkW/newRate/fixedMark entries are disjoint
+	// across components, so the workers never share mutable state.
+	flowsB, linksB := c.compFlowsB, c.compLinksB
 	for int32(len(linksB)) < nComp {
-		linksB = append(linksB, nil)
+		if len(linksB) < cap(linksB) {
+			linksB = linksB[:len(linksB)+1]
+			linksB[len(linksB)-1] = linksB[len(linksB)-1][:0]
+		} else {
+			linksB = append(linksB, nil)
+		}
 	}
 	par.Ranges(int(nComp), 1, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			e.fill(c, linksB[ci], flowsB[ci], len(flowsB[ci]))
 		}
 	})
-	e.compLinksB = linksB
+	c.compLinksB = linksB
+	return live
 }

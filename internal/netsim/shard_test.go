@@ -12,9 +12,9 @@ import (
 // restores them on cleanup.
 func forceSharded(t *testing.T) {
 	t.Helper()
-	prevMin, prevPar := shardedSolveMin, fillParMin
-	shardedSolveMin, fillParMin = 2, 4
-	t.Cleanup(func() { shardedSolveMin, fillParMin = prevMin, prevPar })
+	prevMin, prevPar, prevWit := shardedSolveMin, fillParMin, witnessParMin
+	shardedSolveMin, fillParMin, witnessParMin = 2, 4, 2
+	t.Cleanup(func() { shardedSolveMin, fillParMin, witnessParMin = prevMin, prevPar, prevWit })
 }
 
 // randomCut draws an adversarial region assignment: every link gets a

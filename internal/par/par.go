@@ -37,6 +37,21 @@ func Workers(n int) int {
 // arithmetic identical under GOMAXPROCS=1 and GOMAXPROCS=N.
 const Chunk = 2048
 
+// NumChunks reports how many chunks ForChunks and MapChunks split [0,n)
+// into for the given chunk size (Chunk when chunk ≤ 0): callers that
+// keep per-chunk arenas (routing buffers, moved-link lists, witness
+// candidate lists) size them with the same grid arithmetic the fan-out
+// uses, so buffer ci always receives exactly chunk ci's output.
+func NumChunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = Chunk
+	}
+	return (n + chunk - 1) / chunk
+}
+
 // ForChunks splits [0,n) into fixed-size chunks and calls fn(ci, lo, hi)
 // for chunk ci covering [lo,hi), chunks spread across pooled workers.
 // Unlike Ranges the chunk grid is a pure function of n and chunk, so a

@@ -6,7 +6,7 @@
 #
 #   -o FILE     write the JSON snapshot to FILE (default: BENCH_PR7.json,
 #               BENCH_PR5.json with --pipeline, BENCH_PR6.json with
-#               --cluster, BENCH_PR8.json with --netsim)
+#               --cluster, BENCH_PR9.json with --netsim)
 #   --smoke     run every benchmark exactly once (-benchtime=1x); useful as
 #               a CI canary that the suite still compiles and runs
 #   --pipeline  run only the artifact-pipeline cold/warm pair: a P=256
@@ -30,7 +30,15 @@
 #               bench-profiles/netsim.cpu.pprof`. Wall-clock speedups from
 #               the per-component engines need a many-core box — run this
 #               there; a 1-CPU runner still validates completion and the
-#               mesh allocation fix (allocs_per_op is worker-independent)
+#               mesh allocation fix (allocs_per_op is worker-independent).
+#               Before/after for the P=16384 and P=65536 rows is the
+#               BENCH_PR8.json -> BENCH_PR9.json pair (both checked in;
+#               BENCH.json holds the full trajectory): PR 9's batched
+#               t=0 admission, witness short-circuit, and heap compaction
+#               land there. NOTE: the three Simulate fabrics share pooled
+#               engine arenas within one process, so b_per_op is only
+#               comparable between runs with the same fabric grouping —
+#               the first fabric pays the arena growth the rest inherit
 #
 # Every run also regenerates BENCH.json: the consolidated trajectory of
 # all BENCH_PR*.json snapshots ({"trajectory": [{"tag": "PR2", ...}, ...]},
@@ -75,7 +83,7 @@ if [ -z "$out" ]; then
   out="BENCH_PR7.json"
   [ -n "$pipeline_only" ] && out="BENCH_PR5.json"
   [ -n "$cluster_only" ] && out="BENCH_PR6.json"
-  [ -n "$netsim_only" ] && out="BENCH_PR8.json"
+  [ -n "$netsim_only" ] && out="BENCH_PR9.json"
 fi
 
 raw="$(mktemp)"
