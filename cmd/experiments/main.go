@@ -8,8 +8,8 @@
 //	experiments -t fig5 -steps 4  # GTC volume matrix + TDC sweep
 //
 // Targets: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// fig10 figures cases cost scaling ablation icn netsim trace sched faults
-// placement ultra all
+// fig10 figures cases cost scaling ablation icn netsim trace replan sched
+// faults placement ultra all
 package main
 
 import (
@@ -79,6 +79,8 @@ func main() {
 			return experiments.Placement(w, r, 64, 40000)
 		case "trace":
 			return experiments.TraceStudy(w, r, *procs)
+		case "replan":
+			return experiments.Replan(w, r, 64)
 		case "ultra":
 			return experiments.Ultra(w, r)
 		default:
@@ -93,7 +95,7 @@ func main() {
 	var targets []string
 	if *target == "all" {
 		targets = []string{"table1", "table2", "fig2", "fig3", "fig4", "figures",
-			"table3", "cases", "cost", "scaling", "ablation", "icn", "netsim", "trace", "sched", "faults", "placement"}
+			"table3", "cases", "cost", "scaling", "ablation", "icn", "netsim", "trace", "replan", "sched", "faults", "placement"}
 	} else {
 		targets = []string{*target}
 	}

@@ -135,9 +135,31 @@ var Registry = []Info{
 	},
 }
 
-// Lookup finds a skeleton by name.
+// Extra lists skeletons beyond the paper's Table 2 — synthetic workloads
+// for studies the six static apps cannot drive. They resolve through
+// Lookup and are served by hfastd, but stay out of Registry so analyses
+// pinned to the paper's six-app set are unaffected.
+var Extra = []Info{
+	{
+		Name:         "amr",
+		Discipline:   "Synthetic",
+		Problem:      "Adaptive Mesh Refinement with migrating patches",
+		Structure:    "Grid + adaptive",
+		PaperLines:   0,
+		Case:         "ii",
+		DefaultScale: 96,
+		Run:          RunAMR,
+	},
+}
+
+// Lookup finds a skeleton by name in Registry or Extra.
 func Lookup(name string) (Info, error) {
 	for _, in := range Registry {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	for _, in := range Extra {
 		if in.Name == name {
 			return in, nil
 		}
@@ -145,13 +167,20 @@ func Lookup(name string) (Info, error) {
 	return Info{}, fmt.Errorf("apps: unknown application %q", name)
 }
 
-// Names returns the registry names in order.
+// Names returns the paper-registry names in order (Extra excluded).
 func Names() []string {
 	out := make([]string, len(Registry))
 	for i, in := range Registry {
 		out[i] = in.Name
 	}
 	return out
+}
+
+// All returns every skeleton: the paper's six, then the extras.
+func All() []Info {
+	out := make([]Info, 0, len(Registry)+len(Extra))
+	out = append(out, Registry...)
+	return append(out, Extra...)
 }
 
 // stepRegion is the region name of steady-state step s.

@@ -45,3 +45,32 @@ func ProfileRunContext(ctx context.Context, name string, cfg Config) (*ipm.Profi
 		"scale": full.Scale,
 	}), nil
 }
+
+// StreamRunContext executes the named skeleton under the streaming IPM
+// collector: each completed window's delta is handed to sink as soon as
+// the last rank leaves the region, while the run is still going. It
+// returns the total number of deltas emitted (Finish flushes the
+// outside-region remainder). This is the live producer for the hfastd
+// streaming endpoint; ProfileRunContext remains the batch path.
+func StreamRunContext(ctx context.Context, name string, cfg Config, sink ipm.DeltaSink) (int, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if cfg.Procs <= 0 {
+		return 0, fmt.Errorf("apps: %s: Procs must be positive, got %d", name, cfg.Procs)
+	}
+	full := cfg.withDefaults(info.DefaultScale)
+	set := ipm.NewStreamSet(name, cfg.Procs, map[string]int{
+		"steps": full.Steps,
+		"scale": full.Scale,
+	}, 0, sink)
+	w := mpi.NewWorld(cfg.Procs,
+		mpi.WithTimeout(DefaultTimeout),
+		mpi.WithCostModel(mpi.DefaultCostModel()),
+		mpi.WithTracerFactory(set.Factory))
+	if err := w.RunContext(ctx, func(c *mpi.Comm) { info.Run(c, cfg) }); err != nil {
+		return 0, fmt.Errorf("apps: %s run failed: %w", name, err)
+	}
+	return set.Finish(), nil
+}

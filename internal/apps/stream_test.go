@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/ipm"
+)
+
+// TestStreamRunMatchesBatch pins the live emitter against the batch
+// collector: merging the deltas a StreamRunContext emits reproduces the
+// batch ProfileRunContext profile byte-for-byte (both runs are
+// deterministic, and under the hash capacity the per-window and
+// run-global accumulators see identical events).
+func TestStreamRunMatchesBatch(t *testing.T) {
+	for _, app := range []string{"cactus", "amr"} {
+		t.Run(app, func(t *testing.T) {
+			cfg := Config{Procs: 16, Steps: 4}
+			batch, err := ProfileRun(app, cfg)
+			if err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+			var deltas []*ipm.Delta
+			n, err := StreamRunContext(context.Background(), app, cfg, func(d *ipm.Delta) {
+				deltas = append(deltas, d)
+			})
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			if n != len(deltas) {
+				t.Fatalf("Finish reported %d deltas, sink saw %d", n, len(deltas))
+			}
+			for i, d := range deltas {
+				if d.Seq != i {
+					t.Fatalf("delta %d carries seq %d", i, d.Seq)
+				}
+			}
+			merged, err := ipm.MergeDeltas(deltas)
+			if err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			var want, got bytes.Buffer
+			if err := batch.WriteJSON(&want); err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.WriteJSON(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Fatalf("merged stream differs from batch profile (%d vs %d bytes)", got.Len(), want.Len())
+			}
+		})
+	}
+}
+
+// TestStreamEmitsWindowsInProgramOrder checks the StreamSet's ordering
+// contract for the region-per-timestep skeletons: deltas arrive init
+// first, then the steps in lexical (= program) order, with the
+// outside-region remainder flushed last.
+func TestStreamEmitsWindowsInProgramOrder(t *testing.T) {
+	var windows []string
+	_, err := StreamRunContext(context.Background(), "cactus", Config{Procs: 8, Steps: 3}, func(d *ipm.Delta) {
+		windows = append(windows, d.Window)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"init", "step000", "step001", "step002"}
+	if len(windows) < len(want) {
+		t.Fatalf("got %d windows %v, want at least %v", len(windows), windows, want)
+	}
+	for i, w := range want {
+		if windows[i] != w {
+			t.Fatalf("window %d = %q, want %q (full order %v)", i, windows[i], w, windows)
+		}
+	}
+	for _, w := range windows[len(want):] {
+		if w != "" {
+			t.Fatalf("unexpected trailing window %q (full order %v)", w, windows)
+		}
+	}
+}
+
+// TestAMRPartnersMigrate pins the adaptive skeleton's defining property:
+// consecutive phases share only the mesh backbone, so the fine-level
+// partner sets of different phases are disjoint.
+func TestAMRPartnersMigrate(t *testing.T) {
+	p := 32
+	seen := map[int]int{} // offset class → first phase
+	for ph := 0; ph < 4; ph++ {
+		offs := amrOffsets(p, ph, 0)
+		if len(offs) != 4 {
+			t.Fatalf("phase %d: got %d offsets, want 4", ph, len(offs))
+		}
+		for _, off := range offs {
+			if off < 2 || off > p-2 {
+				t.Fatalf("phase %d: offset %d outside [2,%d]", ph, off, p-2)
+			}
+			class := off
+			if p-off < class {
+				class = p - off
+			}
+			if prev, ok := seen[class]; ok && prev == ph-1 {
+				t.Fatalf("phase %d reuses offset class %d from phase %d", ph, class, prev)
+			}
+			seen[class] = ph
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package hfast
+
+import (
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// benchPhaseGraphs builds two P=1024 phase graphs sharing half their
+// rings — the partial-overlap shape a phase boundary hands the planner.
+func benchPhaseGraphs(b *testing.B) (*topology.Graph, *topology.Graph) {
+	b.Helper()
+	build := func(offsets []int) *topology.Graph {
+		g, err := topology.NewGraph(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, off := range offsets {
+			for i := 0; i < 1024; i++ {
+				g.AddTraffic(i, (i+off)%1024, 4, 1<<20, 1<<18)
+			}
+		}
+		return g
+	}
+	return build([]int{1, 7, 31, 127}), build([]int{1, 7, 63, 255})
+}
+
+// BenchmarkDiffPlan is the incremental planner at a phase boundary:
+// provision the next phase and diff it against the previous assignment.
+func BenchmarkDiffPlan(b *testing.B) {
+	g1, g2 := benchPhaseGraphs(b)
+	prev, err := Assign(g1, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PlanDiff(prev, g2, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullReplan is the baseline the diff planner replaces: wire the
+// next phase from a dark fabric, ignoring what is already provisioned.
+func BenchmarkFullReplan(b *testing.B) {
+	_, g2 := benchPhaseGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PlanDiff(nil, g2, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,52 +76,27 @@ func (f *Fabric) Params() Params { return f.params }
 func (f *Fabric) Batches() int   { return f.batches }
 func (f *Fabric) PortMoves() int { return f.portMoves }
 
-// edgeSet collects an assignment's provisioned edges.
-func edgeSet(a *Assignment) map[[2]int]bool {
-	s := make(map[[2]int]bool)
-	for i := 0; i < a.P; i++ {
-		for _, j := range a.Partners[i] {
-			if j > i {
-				s[[2]int{i, j}] = true
-			}
-		}
-	}
-	return s
-}
-
 // Reconfigure adapts the fabric to a measured communication graph at the
 // given cutoff, returning the incremental effort. The application is
 // assumed to be quiesced at a synchronization point for the settling
 // batch, since in-flight traffic would be corrupted by moving circuits.
+// The plan is the diff planner's (PlanDiff): only changed circuits are
+// touched, never the surviving ones.
 func (f *Fabric) Reconfigure(g *topology.Graph, cutoff int) (ReconfigReport, error) {
 	if g.P != f.procs {
 		return ReconfigReport{}, fmt.Errorf("hfast: graph has %d ranks but fabric has %d nodes", g.P, f.procs)
 	}
-	next, err := Assign(g, cutoff, f.params.BlockSize)
+	next, diff, err := PlanDiff(f.current, g, cutoff, f.params.BlockSize)
 	if err != nil {
 		return ReconfigReport{}, err
 	}
-	old := edgeSet(f.current)
-	new_ := edgeSet(next)
-	rep := ReconfigReport{Settle: SettleTime}
-	for e := range new_ {
-		if !old[e] {
-			rep.Added++
-		}
+	rep := ReconfigReport{
+		Added:       len(diff.Setup),
+		Removed:     len(diff.Teardown),
+		PortMoves:   diff.PortMoves,
+		BlocksDelta: diff.BlocksDelta,
+		Settle:      SettleTime,
 	}
-	for e := range old {
-		if !new_[e] {
-			rep.Removed++
-		}
-	}
-	// Each changed edge re-points its two endpoint circuits; block pool
-	// changes rewire one uplink per block.
-	rep.BlocksDelta = next.TotalBlocks - f.current.TotalBlocks
-	delta := rep.BlocksDelta
-	if delta < 0 {
-		delta = -delta
-	}
-	rep.PortMoves = 2*(rep.Added+rep.Removed) + delta
 	f.current = next
 	f.batches++
 	f.portMoves += rep.PortMoves

@@ -1,0 +1,199 @@
+package ipm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta is one time-windowed increment of a streaming profile: the
+// per-rank entries observed inside a single code region (window), in the
+// same versioned wire conventions as Profile — Ranks sorted by rank,
+// Entries sorted by key, stable field set — so encode → decode →
+// re-encode is byte-identical. Deltas appeared in schema v2; v1 readers
+// never see them (they only exchange whole profiles), and v1 profiles
+// decode unchanged under v2.
+type Delta struct {
+	// Version is the wire-format version (SchemaVersion when written by
+	// this package).
+	Version int
+	// App and Procs identify the run the delta belongs to; every delta of
+	// one stream carries the same values, and folders reject mismatches.
+	App   string
+	Procs int
+	// Params records the workload parameters of the run (carried on every
+	// delta so each is self-contained; MergeDeltas takes the first's).
+	Params map[string]int
+	// Seq is the delta's zero-based position in its stream. Folders use
+	// it to detect gaps and reordering.
+	Seq int
+	// Window is the code region this delta covers ("" for traffic outside
+	// any region).
+	Window string
+	// Ranks holds the window's per-rank entries, sorted by rank. Every
+	// rank of the run appears, even when it saw no traffic in the window,
+	// so Procs can be cross-checked. Spilled carries the catch-all fold
+	// count attributed to this window (SplitDeltas attributes the whole
+	// run's spill to the final delta, since the batch counter is global).
+	Ranks []RankProfile
+}
+
+// WriteJSON serializes the delta in the versioned wire format.
+func (d *Delta) WriteJSON(w io.Writer) error {
+	if d.Version == 0 {
+		d.Version = SchemaVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ReadDeltaJSON deserializes a delta written by WriteJSON. Deltas written
+// by a newer schema than this package understands are rejected.
+func ReadDeltaJSON(r io.Reader) (*Delta, error) {
+	var d Delta
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("ipm: decoding delta: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks the structural invariants a folder relies on.
+func (d *Delta) Validate() error {
+	if d.Version > SchemaVersion {
+		return fmt.Errorf("ipm: delta wire format v%d is newer than supported v%d", d.Version, SchemaVersion)
+	}
+	if d.Procs <= 0 {
+		return fmt.Errorf("ipm: delta %q seq %d has non-positive proc count %d", d.App, d.Seq, d.Procs)
+	}
+	for i := range d.Ranks {
+		if r := d.Ranks[i].Rank; r < 0 || r >= d.Procs {
+			return fmt.Errorf("ipm: delta %q seq %d: rank %d out of range [0,%d)", d.App, d.Seq, r, d.Procs)
+		}
+		if i > 0 && d.Ranks[i].Rank <= d.Ranks[i-1].Rank {
+			return fmt.Errorf("ipm: delta %q seq %d: ranks not strictly sorted at index %d", d.App, d.Seq, i)
+		}
+	}
+	return nil
+}
+
+// AsProfile views the delta as a single-window profile, the shape the
+// topology and trace packages consume. The rank slices are shared with
+// the delta; callers must not mutate them.
+func (d *Delta) AsProfile() *Profile {
+	return &Profile{
+		Version: d.Version,
+		App:     d.App,
+		Procs:   d.Procs,
+		Params:  d.Params,
+		Ranks:   d.Ranks,
+	}
+}
+
+// SplitDeltas decomposes a batch profile into its per-window delta
+// stream, one delta per region in sorted region order (matching the
+// program order of the skeletons: "init" precedes "step000" …). Folding
+// the stream back with MergeDeltas reproduces the profile exactly, so
+// the streaming and batch paths provably share one source of truth.
+func SplitDeltas(p *Profile) ([]*Delta, error) {
+	if p.Procs <= 0 {
+		return nil, fmt.Errorf("ipm: profile %q has non-positive proc count %d", p.App, p.Procs)
+	}
+	regionSet := make(map[string]bool)
+	for i := range p.Ranks {
+		for _, e := range p.Ranks[i].Entries {
+			regionSet[e.Key.Region] = true
+		}
+	}
+	regions := make([]string, 0, len(regionSet))
+	for r := range regionSet {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	if len(regions) == 0 {
+		regions = append(regions, "") // empty profile still yields one (empty) delta
+	}
+	out := make([]*Delta, 0, len(regions))
+	for seq, region := range regions {
+		d := &Delta{
+			Version: SchemaVersion,
+			App:     p.App,
+			Procs:   p.Procs,
+			Params:  p.Params,
+			Seq:     seq,
+			Window:  region,
+			Ranks:   make([]RankProfile, 0, len(p.Ranks)),
+		}
+		for i := range p.Ranks {
+			rp := &p.Ranks[i]
+			dr := RankProfile{Rank: rp.Rank}
+			for _, e := range rp.Entries {
+				if e.Key.Region == region {
+					dr.Entries = append(dr.Entries, e)
+				}
+			}
+			if seq == len(regions)-1 {
+				dr.Spilled = rp.Spilled
+			}
+			d.Ranks = append(d.Ranks, dr)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// MergeDeltas folds a complete delta stream back into a batch profile:
+// per-rank entries are merge-sorted by key and spill counts summed. The
+// deltas must agree on App/Procs; windows must be distinct.
+func MergeDeltas(ds []*Delta) (*Profile, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("ipm: merging empty delta stream")
+	}
+	first := ds[0]
+	windows := make(map[string]bool, len(ds))
+	byRank := make(map[int]*RankProfile)
+	for _, d := range ds {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if d.App != first.App || d.Procs != first.Procs {
+			return nil, fmt.Errorf("ipm: delta stream mixes runs: %q/%d vs %q/%d", d.App, d.Procs, first.App, first.Procs)
+		}
+		if windows[d.Window] {
+			return nil, fmt.Errorf("ipm: delta stream repeats window %q", d.Window)
+		}
+		windows[d.Window] = true
+		for i := range d.Ranks {
+			dr := &d.Ranks[i]
+			rp, ok := byRank[dr.Rank]
+			if !ok {
+				rp = &RankProfile{Rank: dr.Rank}
+				byRank[dr.Rank] = rp
+			}
+			rp.Entries = append(rp.Entries, dr.Entries...)
+			rp.Spilled += dr.Spilled
+		}
+	}
+	p := &Profile{
+		Version: SchemaVersion,
+		App:     first.App,
+		Procs:   first.Procs,
+		Params:  first.Params,
+		Ranks:   make([]RankProfile, 0, len(byRank)),
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		rp := byRank[r]
+		sort.Slice(rp.Entries, func(i, j int) bool { return rp.Entries[i].Key.less(rp.Entries[j].Key) })
+		p.Ranks = append(p.Ranks, *rp)
+	}
+	return p, nil
+}

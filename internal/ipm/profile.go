@@ -25,10 +25,15 @@ type RankProfile struct {
 	Spilled int64
 }
 
-// SchemaVersion is the current version of the Profile wire format. It is
-// bumped only on incompatible changes; ReadJSON rejects profiles from a
-// newer version so consumers fail loudly instead of misreading fields.
-const SchemaVersion = 1
+// SchemaVersion is the current version of the wire format shared by
+// Profile and Delta. It is bumped only on incompatible changes; ReadJSON
+// rejects profiles from a newer version so consumers fail loudly instead
+// of misreading fields. Version history:
+//
+//	1 — batch Profile only.
+//	2 — adds the streaming Delta envelope (delta.go). The Profile field
+//	    set is unchanged, so v1 profiles decode unmodified.
+const SchemaVersion = 2
 
 // Profile is the merged communication profile of one application run.
 //

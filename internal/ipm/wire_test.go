@@ -12,7 +12,9 @@ import (
 // TestGoldenWireFormat pins the service wire format: the committed golden
 // profile must decode and re-encode byte-identically. Any change to field
 // names, ordering, indentation, or number formatting fails here instead of
-// silently breaking hfastd clients and stored profiles.
+// silently breaking hfastd clients and stored profiles. The golden is a
+// schema v1 profile — v2 added the Delta envelope without touching the
+// Profile field set, so v1 profiles must keep decoding unchanged.
 func TestGoldenWireFormat(t *testing.T) {
 	golden, err := os.ReadFile(filepath.Join("testdata", "profile_v1.golden.json"))
 	if err != nil {
@@ -22,8 +24,8 @@ func TestGoldenWireFormat(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decoding golden: %v", err)
 	}
-	if p.Version != SchemaVersion {
-		t.Fatalf("golden version = %d, want %d", p.Version, SchemaVersion)
+	if p.Version != 1 {
+		t.Fatalf("golden version = %d, want 1 (pinned old-schema compatibility)", p.Version)
 	}
 	if p.App != "cactus" || p.Procs != 8 {
 		t.Fatalf("golden header = %s/%d, want cactus/8", p.App, p.Procs)

@@ -50,8 +50,8 @@ type flight struct {
 type cache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List             // front = most recently used
-	items    map[Key]*list.Element  // key → element; element.Value is *entry
+	ll       *list.List            // front = most recently used
+	items    map[Key]*list.Element // key → element; element.Value is *entry
 	inflight map[Key]*flight
 	wg       sync.WaitGroup // running flights, for shutdown draining
 	metrics  *Metrics

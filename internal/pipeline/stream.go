@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/trace"
+)
+
+// StageFold is the incremental window-fold stage: one artifact per
+// prefix of a delta stream.
+const StageFold = "fold"
+
+// FoldSeed identifies the empty state of a delta stream — the root of a
+// fold chain. Zero Cutoff/Prefix select the usual defaults, and the
+// detector config participates in the key, so streams analyzed with
+// different thresholds never share state.
+type FoldSeed struct {
+	Procs  int                  `json:"procs"`
+	Cutoff int                  `json:"cutoff"`
+	Prefix string               `json:"prefix"`
+	Det    trace.DetectorConfig `json:"det"`
+}
+
+func (s FoldSeed) normalize() (FoldSeed, error) {
+	s.Cutoff = normCutoff(s.Cutoff)
+	if s.Prefix == "" {
+		s.Prefix = "step"
+	}
+	det, err := s.Det.Normalize()
+	if err != nil {
+		return s, err
+	}
+	s.Det = det
+	return s, nil
+}
+
+type foldInputs struct {
+	Prev  Key    `json:"prev"`
+	Delta string `json:"delta"`
+}
+
+// FoldInit resolves the empty stream state for a seed and returns it
+// with its chain key.
+func (pl *Pipeline) FoldInit(ctx context.Context, seed FoldSeed) (*trace.StreamState, Key, Outcome, error) {
+	seed, err := seed.normalize()
+	if err != nil {
+		return nil, "", Miss, err
+	}
+	key := keyOf(StageFold, seed)
+	v, how, err := pl.cache.do(ctx, StageFold, key, func(context.Context) (any, error) {
+		return trace.NewStreamState(seed.Procs, seed.Cutoff, seed.Prefix, seed.Det)
+	})
+	if err != nil {
+		return nil, "", how, err
+	}
+	return v.(*trace.StreamState), key, how, nil
+}
+
+// FoldDelta folds one delta into a stream state, returning the successor
+// state and its chain key. The key derives from (previous state key,
+// canonical delta hash), so replaying a stream whose warm prefix is
+// cached re-folds nothing: every prefix artifact is shared by content,
+// and a fold error is never cached (the cache's usual discipline).
+//
+// States are immutable snapshots; prev stays valid whatever the outcome.
+func (pl *Pipeline) FoldDelta(ctx context.Context, prevKey Key, prev *trace.StreamState, d *ipm.Delta) (*trace.StreamState, Key, Outcome, error) {
+	if prev == nil {
+		return nil, "", Miss, fmt.Errorf("pipeline: fold needs a previous state")
+	}
+	dh, err := deltaHash(d)
+	if err != nil {
+		return nil, "", Miss, err
+	}
+	key := keyOf(StageFold, foldInputs{Prev: prevKey, Delta: dh})
+	v, how, err := pl.cache.do(ctx, StageFold, key, func(context.Context) (any, error) {
+		ns, err := prev.Fold(d)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: fold delta %d (%q): %w", d.Seq, d.Window, err)
+		}
+		return ns, nil
+	})
+	if err != nil {
+		return nil, "", how, err
+	}
+	return v.(*trace.StreamState), key, how, nil
+}
+
+// deltaHash is the content address of one delta: SHA-256 of its
+// canonical wire encoding.
+func deltaHash(d *ipm.Delta) (string, error) {
+	var canon bytes.Buffer
+	if err := d.WriteJSON(&canon); err != nil {
+		return "", fmt.Errorf("pipeline: encoding delta: %w", err)
+	}
+	sum := sha256.Sum256(canon.Bytes())
+	return hex.EncodeToString(sum[:12]), nil
+}

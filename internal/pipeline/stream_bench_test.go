@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+)
+
+// benchDeltas profiles cactus at P=256 once and splits it into the delta
+// stream the fold benchmarks replay.
+func benchDeltas(b *testing.B) []*ipm.Delta {
+	b.Helper()
+	p, err := apps.ProfileRun("cactus", apps.Config{Procs: 256, Steps: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := ipm.SplitDeltas(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkStreamFoldCold folds a P=256 delta stream through an empty
+// pipeline each iteration: the full cost of live ingestion (graph build,
+// window append, detector) with nothing cached. The deltas/s metric is
+// the ingestion throughput headline.
+func BenchmarkStreamFoldCold(b *testing.B) {
+	ds := benchDeltas(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := New(Options{})
+		st, key, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range ds {
+			if st, key, _, err = pl.FoldDelta(ctx, key, st, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ds))*float64(b.N)/b.Elapsed().Seconds(), "deltas/s")
+}
+
+// BenchmarkStreamFoldWarm replays the same stream against a pipeline that
+// has already folded it: every link is a content-addressed cache hit, the
+// re-provisioning fast path a reconnecting client rides.
+func BenchmarkStreamFoldWarm(b *testing.B) {
+	ds := benchDeltas(b)
+	ctx := context.Background()
+	pl := New(Options{})
+	st, key, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range ds {
+		if st, key, _, err = pl.FoldDelta(ctx, key, st, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, key, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range ds {
+			if st, key, _, err = pl.FoldDelta(ctx, key, st, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ds))*float64(b.N)/b.Elapsed().Seconds(), "deltas/s")
+}

@@ -1,0 +1,195 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/trace"
+)
+
+// foldChain folds a delta slice through the pipeline starting from the
+// seed, reporting the outcomes observed at each link.
+func foldChain(t *testing.T, pl *Pipeline, seed FoldSeed, ds []*ipm.Delta) (*trace.StreamState, Key, []Outcome) {
+	t.Helper()
+	ctx := context.Background()
+	st, key, how, err := pl.FoldInit(ctx, seed)
+	if err != nil {
+		t.Fatalf("fold init: %v", err)
+	}
+	outcomes := []Outcome{how}
+	for _, d := range ds {
+		st, key, how, err = pl.FoldDelta(ctx, key, st, d)
+		if err != nil {
+			t.Fatalf("fold delta %d: %v", d.Seq, err)
+		}
+		outcomes = append(outcomes, how)
+	}
+	return st, key, outcomes
+}
+
+// TestFoldWarmPrefix pins the delta-chain keying contract: replaying the
+// same stream serves every link from cache, and a stream sharing only a
+// prefix re-folds just its divergent suffix.
+func TestFoldWarmPrefix(t *testing.T) {
+	p, err := apps.ProfileRun("cactus", apps.Config{Procs: 16, Steps: 4})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	ds, err := ipm.SplitDeltas(p)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if len(ds) < 4 {
+		t.Fatalf("need at least 4 deltas, got %d", len(ds))
+	}
+	pl := New(Options{})
+	seed := FoldSeed{Procs: p.Procs}
+
+	_, key1, cold := foldChain(t, pl, seed, ds)
+	for i, how := range cold {
+		if how != Miss {
+			t.Fatalf("cold fold link %d outcome %v, want miss", i, how)
+		}
+	}
+
+	st2, key2, warm := foldChain(t, pl, seed, ds)
+	for i, how := range warm {
+		if how != Hit {
+			t.Fatalf("warm fold link %d outcome %v, want hit", i, how)
+		}
+	}
+	if key1 != key2 {
+		t.Fatalf("same stream folded to different keys %s vs %s", key1, key2)
+	}
+	if st2.Deltas != len(ds) {
+		t.Fatalf("warm replay folded %d deltas, want %d", st2.Deltas, len(ds))
+	}
+
+	// A stream diverging after the first half shares the warm prefix and
+	// misses only from the divergence point on.
+	half := len(ds) / 2
+	fork := make([]*ipm.Delta, len(ds))
+	copy(fork, ds[:half])
+	for i := half; i < len(ds); i++ {
+		d := *ds[i]
+		d.Ranks = append([]ipm.RankProfile(nil), d.Ranks...)
+		d.Ranks[0].Spilled++ // perturb content, keep shape
+		fork[i] = &d
+	}
+	_, _, mixed := foldChain(t, pl, seed, fork)
+	for i := 0; i <= half; i++ { // init link + first half
+		if mixed[i] != Hit {
+			t.Fatalf("shared-prefix link %d outcome %v, want hit", i, mixed[i])
+		}
+	}
+	for i := half + 1; i < len(mixed); i++ {
+		if mixed[i] != Miss {
+			t.Fatalf("divergent link %d outcome %v, want miss", i, mixed[i])
+		}
+	}
+}
+
+// TestFoldErrorNotCached pins the cache discipline on the fold stage: a
+// delta that fails to fold is retryable — the error is returned but never
+// stored, and the failed key stays absent.
+func TestFoldErrorNotCached(t *testing.T) {
+	pl := New(Options{})
+	ctx := context.Background()
+	st, key, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &ipm.Delta{Version: 2, App: "x", Procs: 4, Seq: 0, Window: "step000"} // procs mismatch
+	if _, _, _, err := pl.FoldDelta(ctx, key, st, bad); err == nil {
+		t.Fatal("expected fold error for procs mismatch")
+	}
+	before := pl.CachedArtifacts()
+	if _, _, how, err := pl.FoldDelta(ctx, key, st, bad); err == nil {
+		t.Fatal("expected fold error on retry")
+	} else if how == Hit {
+		t.Fatal("fold error was served from cache")
+	}
+	if pl.CachedArtifacts() != before {
+		t.Fatalf("failed fold grew the cache from %d to %d entries", before, pl.CachedArtifacts())
+	}
+
+	// The same key folds fine once the delta is corrected: errors did not
+	// poison the chain position.
+	good := &ipm.Delta{Version: 2, App: "x", Procs: 8, Seq: 0, Window: "step000"}
+	if _, _, how, err := pl.FoldDelta(ctx, key, st, good); err != nil {
+		t.Fatalf("corrected delta failed: %v", err)
+	} else if how != Miss {
+		t.Fatalf("corrected delta outcome %v, want miss", how)
+	}
+}
+
+// TestFoldSeedKeying checks that analysis parameters participate in the
+// chain key: the same deltas folded under different detector thresholds
+// or cutoffs never share artifacts.
+func TestFoldSeedKeying(t *testing.T) {
+	pl := New(Options{})
+	ctx := context.Background()
+	_, k1, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 8, Cutoff: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k3, _, err := pl.FoldInit(ctx, FoldSeed{Procs: 8, Det: trace.DetectorConfig{Enter: 0.7, Exit: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 || k1 == k3 || k2 == k3 {
+		t.Fatalf("distinct seeds share keys: %s %s %s", k1, k2, k3)
+	}
+	// Defaults normalize: an explicit default-equivalent seed shares the
+	// zero seed's chain.
+	_, k4, how, err := pl.FoldInit(ctx, FoldSeed{Procs: 8, Prefix: "step", Det: trace.DetectorConfig{Enter: 0.5, Exit: 0.25, MinWindows: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 != k1 || how != Hit {
+		t.Fatalf("normalized seed key %s (outcome %v), want %s (hit)", k4, how, k1)
+	}
+}
+
+// TestFoldMatchesBatchArtifacts is the pipeline-layer parity check: the
+// windows a folded stream accumulates serialize byte-identically to the
+// batch StageWindows artifact of the merged profile.
+func TestFoldMatchesBatchArtifacts(t *testing.T) {
+	p, err := apps.ProfileRun("gtc", apps.Config{Procs: 16, Steps: 3})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	ds, err := ipm.SplitDeltas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := New(Options{})
+	st, _, _ := foldChain(t, pl, FoldSeed{Procs: p.Procs}, ds)
+
+	ref, err := Supplied(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchWs, _, err := pl.Windows(context.Background(), ref, "step", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeArtifact(StageWindows, batchWs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EncodeArtifact(StageWindows, st.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("folded windows artifact differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}

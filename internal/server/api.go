@@ -126,6 +126,59 @@ type CompareResponse struct {
 	ICN                 ICNResponse   `json:"icn"`
 }
 
+// StreamPlan is one phase's re-provisioning plan: the circuit diff the
+// fabric applies at the phase boundary, never touching surviving
+// circuits. Phase 0 is the initial provisioning from a dark fabric.
+type StreamPlan struct {
+	Phase       int    `json:"phase"`
+	StartWindow string `json:"start_window"`
+	// Setup/Teardown/Kept count provisioned partner circuits to create,
+	// remove, and leave untouched.
+	Setup    int `json:"setup"`
+	Teardown int `json:"teardown"`
+	Kept     int `json:"kept"`
+	// BlocksDelta and TotalBlocks track the switch-block pool.
+	BlocksDelta int `json:"blocks_delta"`
+	TotalBlocks int `json:"total_blocks"`
+	// PortMoves is the diff's cost; FullMoves what a from-scratch rewire
+	// would cost; Saved the fraction avoided.
+	PortMoves int     `json:"port_moves"`
+	FullMoves int     `json:"full_moves"`
+	Saved     float64 `json:"saved"`
+	// SettleMS is the modeled reconfiguration stall in milliseconds.
+	SettleMS float64 `json:"settle_ms"`
+}
+
+// OpportunityResponse is the trace.Opportunity summary of a stream.
+type OpportunityResponse struct {
+	Windows            int     `json:"windows"`
+	MaxWindowTDC       int     `json:"max_window_tdc"`
+	UnionTDC           int     `json:"union_tdc"`
+	MeanChurn          float64 `json:"mean_churn"`
+	ReconfigurableGain int     `json:"reconfigurable_gain"`
+}
+
+// StreamResponse is the body of /v1/stream/{session} responses. A POST
+// reports the deltas it folded and any plans its boundaries produced; a
+// GET or DELETE reports the whole stream with every plan so far.
+type StreamResponse struct {
+	Session string `json:"session"`
+	App     string `json:"app,omitempty"`
+	Procs   int    `json:"procs"`
+	// DeltasFolded counts this request's deltas; TotalDeltas the whole
+	// stream's.
+	DeltasFolded int `json:"deltas_folded"`
+	TotalDeltas  int `json:"total_deltas"`
+	// Windows is the folded step-window count; Phases the detected phase
+	// count (the open phase included).
+	Windows int          `json:"windows"`
+	Phases  int          `json:"phases"`
+	Plans   []StreamPlan `json:"plans,omitempty"`
+	Closed  bool         `json:"closed,omitempty"`
+	// Opportunity is included once the stream is closed.
+	Opportunity *OpportunityResponse `json:"opportunity,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON response.
 type ErrorResponse struct {
 	Error string `json:"error"`

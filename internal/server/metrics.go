@@ -31,8 +31,13 @@ type Metrics struct {
 	rejected    uint64 // 429 backpressure responses
 	timeouts    uint64 // 504 deadline responses
 
-	inflight   atomic.Int64 // requests currently inside a handler
-	queueDepth atomic.Int64 // requests waiting for a worker slot
+	streamDeltas       uint64 // profile deltas folded across all streams
+	streamPhases       uint64 // phase boundaries detected (beyond phase 0)
+	streamCircuitMoves uint64 // circuits set up + torn down by stream plans
+
+	inflight       atomic.Int64 // requests currently inside a handler
+	queueDepth     atomic.Int64 // requests waiting for a worker slot
+	streamSessions atomic.Int64 // live delta-stream sessions
 }
 
 // NewMetrics creates an empty metrics set.
@@ -65,6 +70,15 @@ func (m *Metrics) addRun()       { m.mu.Lock(); m.runs++; m.mu.Unlock() }
 func (m *Metrics) addRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *Metrics) addTimeout()   { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
 
+func (m *Metrics) addStreamDelta() { m.mu.Lock(); m.streamDeltas++; m.mu.Unlock() }
+func (m *Metrics) addStreamPhase() { m.mu.Lock(); m.streamPhases++; m.mu.Unlock() }
+func (m *Metrics) addStreamCircuitMoves(n int64) {
+	m.mu.Lock()
+	m.streamCircuitMoves += uint64(n)
+	m.mu.Unlock()
+}
+func (m *Metrics) setStreamSessions(n int64) { m.streamSessions.Store(n) }
+
 // Snapshot is a copy of the counters for tests and introspection.
 type Snapshot struct {
 	Requests    map[string]uint64 // "path code" → count
@@ -75,8 +89,14 @@ type Snapshot struct {
 	Rejected    uint64
 	Timeouts    uint64
 	DurCount    uint64
-	Inflight    int64
-	QueueDepth  int64
+
+	StreamDeltas       uint64
+	StreamPhases       uint64
+	StreamCircuitMoves uint64
+
+	Inflight       int64
+	QueueDepth     int64
+	StreamSessions int64
 }
 
 // Snapshot returns a consistent copy of every counter and gauge.
@@ -92,8 +112,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rejected:    m.rejected,
 		Timeouts:    m.timeouts,
 		DurCount:    m.durCount,
-		Inflight:    m.inflight.Load(),
-		QueueDepth:  m.queueDepth.Load(),
+
+		StreamDeltas:       m.streamDeltas,
+		StreamPhases:       m.streamPhases,
+		StreamCircuitMoves: m.streamCircuitMoves,
+
+		Inflight:       m.inflight.Load(),
+		QueueDepth:     m.queueDepth.Load(),
+		StreamSessions: m.streamSessions.Load(),
 	}
 	for k, v := range m.requests {
 		s.Requests[k[0]+" "+k[1]] = v
@@ -141,12 +167,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("hfastd_pipeline_runs_total", "Profiling/provisioning pipeline executions started.", m.runs)
 	counter("hfastd_rejected_total", "Requests rejected with 429 by worker-pool backpressure.", m.rejected)
 	counter("hfastd_timeouts_total", "Requests that exceeded their deadline (504).", m.timeouts)
+	counter("hfastd_stream_deltas_total", "Profile deltas folded across all stream sessions.", m.streamDeltas)
+	counter("hfastd_stream_phases_total", "Phase boundaries detected by streaming folds (beyond phase 0).", m.streamPhases)
+	counter("hfastd_stream_circuit_moves_total", "Circuits set up plus torn down by stream re-provisioning plans.", m.streamCircuitMoves)
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	gauge("hfastd_inflight_requests", "Requests currently being handled.", m.inflight.Load())
 	gauge("hfastd_queue_depth", "Requests waiting for a worker slot.", m.queueDepth.Load())
+	gauge("hfastd_stream_sessions", "Live delta-stream sessions.", m.streamSessions.Load())
 }
 
 // formatBound renders a histogram bound the way Prometheus clients do

@@ -59,6 +59,11 @@ type Config struct {
 	// when non-empty, authenticates /internal/artifact requests.
 	PeerTimeout  time.Duration
 	ClusterToken string
+	// MaxStreamSessions bounds live delta-stream sessions; beyond it new
+	// streams are shed with 429 (default: 64). StreamSessionTTL evicts
+	// streams idle longer than this when the table is full (default: 10m).
+	MaxStreamSessions int
+	StreamSessionTTL  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +85,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxProcs <= 0 {
 		c.MaxProcs = 1024
 	}
+	if c.MaxStreamSessions <= 0 {
+		c.MaxStreamSessions = 64
+	}
+	if c.StreamSessionTTL <= 0 {
+		c.StreamSessionTTL = 10 * time.Minute
+	}
 	return c
 }
 
@@ -95,6 +106,7 @@ type Server struct {
 	pipe     *pipeline.Pipeline
 	cluster  *cluster.Filler // nil when not clustered
 	mux      *http.ServeMux
+	streams  streams
 	draining atomic.Bool
 	inflight sync.WaitGroup
 }
@@ -139,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/v1/provision", s.handleProvision)
 	s.mux.HandleFunc("/v1/compare", s.handleCompare)
+	s.mux.HandleFunc("/v1/stream/", s.handleStream)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -195,6 +208,9 @@ func routeLabel(p string) string {
 	switch p {
 	case "/v1/apps", "/v1/profile", "/v1/provision", "/v1/compare", "/metrics", "/healthz", "/readyz":
 		return p
+	}
+	if strings.HasPrefix(p, "/v1/stream/") {
+		return "/v1/stream"
 	}
 	if strings.HasPrefix(p, cluster.ArtifactPathPrefix) {
 		return "/internal/artifact"
@@ -382,8 +398,9 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET", 0)
 		return
 	}
-	out := make([]AppResponse, 0, len(apps.Registry))
-	for _, in := range apps.Registry {
+	all := apps.All()
+	out := make([]AppResponse, 0, len(all))
+	for _, in := range all {
 		out = append(out, AppResponse{
 			Name:         in.Name,
 			Discipline:   in.Discipline,

@@ -406,7 +406,8 @@ func TestBadInput(t *testing.T) {
 	}
 }
 
-// TestAppsEndpoint lists the paper's eight applications.
+// TestAppsEndpoint lists every registered skeleton: the paper's six in
+// registry order, then the extras (amr).
 func TestAppsEndpoint(t *testing.T) {
 	_, ts := testServer(t, Config{Workers: 1})
 	resp, err := http.Get(ts.URL + "/v1/apps")
@@ -419,11 +420,14 @@ func TestAppsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatalf("decoding: %v", err)
 	}
-	if len(out) != len(apps.Registry) {
-		t.Fatalf("got %d apps, want %d", len(out), len(apps.Registry))
+	if want := len(apps.Registry) + len(apps.Extra); len(out) != want {
+		t.Fatalf("got %d apps, want %d", len(out), want)
 	}
 	if out[0].Name != "cactus" {
 		t.Fatalf("first app %q, want cactus (registry order)", out[0].Name)
+	}
+	if out[len(apps.Registry)].Name != "amr" {
+		t.Fatalf("first extra app %q, want amr", out[len(apps.Registry)].Name)
 	}
 }
 

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	core "github.com/hfast-sim/hfast/internal/hfast"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+	"github.com/hfast-sim/hfast/internal/trace"
+)
+
+// Streaming ingestion: POST /v1/stream/{session} accepts chunked profile
+// deltas (a sequence of concatenated JSON ipm.Delta values), folds them
+// online through the pipeline's incremental fold stage, runs the phase
+// detector, and answers with the re-provisioning plans (circuit diffs)
+// the detected boundaries produced. GET returns the stream's status (or,
+// with ?artifact=windows|assignment, the canonical artifact bytes — the
+// same encoding the batch pipeline serves, so parity is checkable on the
+// wire). DELETE closes and removes the session.
+
+// streamSession is one live delta stream.
+type streamSession struct {
+	mu      sync.Mutex
+	id      string
+	seed    pipeline.FoldSeed
+	block   int
+	created time.Time
+	last    time.Time
+
+	state  *trace.StreamState
+	key    pipeline.Key
+	assign *core.Assignment
+	plans  []StreamPlan
+	closed bool
+}
+
+// streams is the server's session table.
+type streams struct {
+	mu sync.Mutex
+	m  map[string]*streamSession
+}
+
+// get returns the named session, creating it with the given seed when
+// absent. A nil return means the table is full.
+func (t *streams) get(id string, create func() *streamSession, max int, ttl time.Duration, now time.Time) *streamSession {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]*streamSession)
+	}
+	if sess, ok := t.m[id]; ok {
+		sess.mu.Lock()
+		sess.last = now
+		sess.mu.Unlock()
+		return sess
+	}
+	if create == nil {
+		return nil
+	}
+	// Evict idle sessions before refusing a new one.
+	for sid, sess := range t.m {
+		sess.mu.Lock()
+		idle := now.Sub(sess.last)
+		sess.mu.Unlock()
+		if idle > ttl {
+			delete(t.m, sid)
+		}
+	}
+	if len(t.m) >= max {
+		return nil
+	}
+	sess := create()
+	t.m[id] = sess
+	return sess
+}
+
+func (t *streams) lookup(id string) *streamSession {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+func (t *streams) remove(id string) *streamSession {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sess := t.m[id]
+	delete(t.m, id)
+	return sess
+}
+
+func (t *streams) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// streamID validates the {session} path segment.
+func streamID(path string) (string, error) {
+	id := strings.TrimPrefix(path, "/v1/stream/")
+	if id == "" || id == path {
+		return "", errors.New("missing session id: POST /v1/stream/{session}")
+	}
+	if len(id) > 64 {
+		return "", fmt.Errorf("session id longer than 64 bytes")
+	}
+	for _, c := range id {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.') {
+			return "", fmt.Errorf("session id may use [a-zA-Z0-9._-] only")
+		}
+	}
+	return id, nil
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id, err := streamID(r.URL.Path)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleStreamPost(w, r, id)
+	case http.MethodGet:
+		s.handleStreamGet(w, r, id)
+	case http.MethodDelete:
+		s.handleStreamDelete(w, r, id)
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST, GET, or DELETE", 0)
+	}
+}
+
+// streamSeed parses the session-creation parameters from the query.
+func streamSeed(q map[string][]string) (pipeline.FoldSeed, int, error) {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	var seed pipeline.FoldSeed
+	var err error
+	if seed.Cutoff, err = intParam(get("cutoff"), 0); err != nil {
+		return seed, 0, fmt.Errorf("cutoff: %w", err)
+	}
+	seed.Prefix = get("prefix")
+	if v := get("enter"); v != "" {
+		if seed.Det.Enter, err = strconv.ParseFloat(v, 64); err != nil {
+			return seed, 0, fmt.Errorf("enter: %w", err)
+		}
+	}
+	if v := get("exit"); v != "" {
+		if seed.Det.Exit, err = strconv.ParseFloat(v, 64); err != nil {
+			return seed, 0, fmt.Errorf("exit: %w", err)
+		}
+	}
+	if seed.Det.MinWindows, err = intParam(get("min_windows"), 0); err != nil {
+		return seed, 0, fmt.Errorf("min_windows: %w", err)
+	}
+	block, err := intParam(get("blocksize"), 0)
+	if err != nil {
+		return seed, 0, fmt.Errorf("blocksize: %w", err)
+	}
+	return seed, block, nil
+}
+
+func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request, id string) {
+	q := r.URL.Query()
+	seed, block, err := streamSeed(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	now := time.Now()
+	sess := s.streams.get(id, func() *streamSession {
+		return &streamSession{id: id, seed: seed, block: block, created: now, last: now}
+	}, s.cfg.MaxStreamSessions, s.cfg.StreamSessionTTL, now)
+	if sess == nil {
+		s.metrics.addRejected()
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("stream session table full (%d live sessions); retry later", s.cfg.MaxStreamSessions),
+			s.retryAfterSeconds())
+		return
+	}
+	s.metrics.setStreamSessions(int64(s.streams.len()))
+
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		s.writeError(w, http.StatusConflict, fmt.Sprintf("stream session %q is closed", id), 0)
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	dec := json.NewDecoder(r.Body)
+	folded := 0
+	var newPlans []StreamPlan
+	for {
+		var d ipm.Delta
+		if err := dec.Decode(&d); err == io.EOF {
+			break
+		} else if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding delta %d: %v", folded, err), 0)
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			s.writePipelineError(w, err)
+			return
+		}
+		plan, err := s.foldOne(ctx, sess, &d)
+		if err != nil {
+			s.writePipelineError(w, err)
+			return
+		}
+		folded++
+		s.metrics.addStreamDelta()
+		if plan != nil {
+			newPlans = append(newPlans, *plan)
+			if plan.Phase > 0 {
+				s.metrics.addStreamPhase()
+			}
+			s.metrics.addStreamCircuitMoves(int64(plan.Setup + plan.Teardown))
+		}
+	}
+	if q.Get("close") == "1" {
+		sess.closed = true
+	}
+	s.writeJSON(w, http.StatusOK, s.streamResponseLocked(sess, folded, newPlans))
+}
+
+// foldOne folds one delta into the session (whose lock is held) and
+// returns the re-provisioning plan if the fold opened a new phase.
+func (s *Server) foldOne(ctx context.Context, sess *streamSession, d *ipm.Delta) (*StreamPlan, error) {
+	if sess.state == nil {
+		if d.Procs <= 0 || d.Procs > s.cfg.MaxProcs {
+			return nil, fmt.Errorf("delta procs %d outside (0,%d]", d.Procs, s.cfg.MaxProcs)
+		}
+		seed := sess.seed
+		seed.Procs = d.Procs
+		st, key, _, err := s.pipe.FoldInit(ctx, seed)
+		if err != nil {
+			return nil, err
+		}
+		sess.state, sess.key = st, key
+	}
+	ns, key, _, err := s.pipe.FoldDelta(ctx, sess.key, sess.state, d)
+	if err != nil {
+		return nil, err
+	}
+	sess.state, sess.key = ns, key
+	if !ns.Last.Boundary {
+		return nil, nil
+	}
+	next, diff, err := core.PlanDiff(sess.assign, ns.CurrentPhaseGraph(), ns.Cutoff, sess.block)
+	if err != nil {
+		return nil, fmt.Errorf("planning phase %d: %w", ns.Last.Phase, err)
+	}
+	sess.assign = next
+	plan := StreamPlan{
+		Phase:       ns.Last.Phase,
+		StartWindow: ns.Last.Window.Region,
+		Setup:       len(diff.Setup),
+		Teardown:    len(diff.Teardown),
+		Kept:        diff.Kept,
+		BlocksDelta: diff.BlocksDelta,
+		TotalBlocks: next.TotalBlocks,
+		PortMoves:   diff.PortMoves,
+		FullMoves:   diff.FullMoves,
+		Saved:       diff.Saved(),
+		SettleMS:    float64(diff.Settle) / float64(time.Millisecond),
+	}
+	sess.plans = append(sess.plans, plan)
+	return &plan, nil
+}
+
+// streamResponseLocked summarizes the session (lock held). plans nil
+// means "report every plan so far" (GET/DELETE).
+func (s *Server) streamResponseLocked(sess *streamSession, folded int, plans []StreamPlan) *StreamResponse {
+	resp := &StreamResponse{
+		Session:      sess.id,
+		DeltasFolded: folded,
+		Closed:       sess.closed,
+		Plans:        plans,
+	}
+	if plans == nil {
+		resp.Plans = append([]StreamPlan(nil), sess.plans...)
+	}
+	if st := sess.state; st != nil {
+		resp.App = st.App
+		resp.Procs = st.Procs
+		resp.TotalDeltas = st.Deltas
+		resp.Windows = len(st.Windows)
+		resp.Phases = len(st.Phases())
+		if sess.closed {
+			if op, err := st.Opportunity(); err == nil {
+				resp.Opportunity = &OpportunityResponse{
+					Windows:            op.Windows,
+					MaxWindowTDC:       op.MaxWindowTDC,
+					UnionTDC:           op.UnionTDC,
+					MeanChurn:          op.MeanChurn,
+					ReconfigurableGain: op.ReconfigurableGain,
+				}
+			}
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request, id string) {
+	sess := s.streams.lookup(id)
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no stream session %q", id), 0)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	switch artifact := r.URL.Query().Get("artifact"); artifact {
+	case "":
+		s.writeJSON(w, http.StatusOK, s.streamResponseLocked(sess, 0, nil))
+	case "windows", "assignment":
+		if sess.state == nil {
+			s.writeError(w, http.StatusConflict, "stream has no folded deltas yet", 0)
+			return
+		}
+		var data []byte
+		var err error
+		if artifact == "windows" {
+			data, err = pipeline.EncodeArtifact(pipeline.StageWindows, sess.state.Windows)
+		} else {
+			var a *core.Assignment
+			if a, err = core.Assign(sess.state.Steady, sess.state.Cutoff, sess.block); err == nil {
+				data, err = pipeline.EncodeArtifact(pipeline.StageAssign, a)
+			}
+		}
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		s.writeError(w, http.StatusBadRequest, "artifact must be \"windows\" or \"assignment\"", 0)
+	}
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request, id string) {
+	sess := s.streams.remove(id)
+	s.metrics.setStreamSessions(int64(s.streams.len()))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no stream session %q", id), 0)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.closed = true
+	s.writeJSON(w, http.StatusOK, s.streamResponseLocked(sess, 0, nil))
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/pipeline"
+)
+
+// encodeDeltas concatenates the deltas' canonical wire encodings — the
+// chunked body format the stream endpoint ingests.
+func encodeDeltas(t *testing.T, ds []*ipm.Delta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, d := range ds {
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// postDeltas POSTs a chunk of deltas to a stream session.
+func postDeltas(t *testing.T, url string, ds []*ipm.Delta) (*http.Response, StreamResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(encodeDeltas(t, ds)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StreamResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("decoding stream response: %v\n%s", err, data)
+		}
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// splitRun profiles an app and splits it into its delta stream.
+func splitRun(t *testing.T, app string, procs, steps int) (*ipm.Profile, []*ipm.Delta) {
+	t.Helper()
+	prof, err := apps.ProfileRun(app, apps.Config{Procs: procs, Steps: steps})
+	if err != nil {
+		t.Fatalf("profiling %s: %v", app, err)
+	}
+	ds, err := ipm.SplitDeltas(prof)
+	if err != nil {
+		t.Fatalf("splitting %s: %v", app, err)
+	}
+	return prof, ds
+}
+
+// TestStreamEndpointLifecycle walks one session through its life: chunked
+// POSTs fold deltas and report plans, GET reports status, close freezes
+// the session, and DELETE removes it.
+func TestStreamEndpointLifecycle(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	url := ts.URL + "/v1/stream/amr-run"
+
+	_, ds := splitRun(t, "amr", 32, 8)
+	if len(ds) < 4 {
+		t.Fatalf("need several deltas, got %d", len(ds))
+	}
+
+	// First chunk: everything but the last two deltas.
+	resp, out := postDeltas(t, url, ds[:len(ds)-2])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first chunk: status %d", resp.StatusCode)
+	}
+	if out.DeltasFolded != len(ds)-2 || out.TotalDeltas != len(ds)-2 {
+		t.Fatalf("first chunk folded %d/%d, want %d", out.DeltasFolded, out.TotalDeltas, len(ds)-2)
+	}
+	if out.App != "amr" || out.Procs != 32 {
+		t.Fatalf("stream header %s/%d, want amr/32", out.App, out.Procs)
+	}
+	if len(out.Plans) == 0 || out.Plans[0].Phase != 0 {
+		t.Fatalf("first chunk should report the phase-0 provisioning, got %+v", out.Plans)
+	}
+	if out.Plans[0].Teardown != 0 || out.Plans[0].Kept != 0 {
+		t.Fatalf("phase-0 plan should wire a dark fabric, got %+v", out.Plans[0])
+	}
+
+	// Second chunk closes the stream; only the new plans are reported.
+	resp, out2 := postDeltas(t, url+"?close=1", ds[len(ds)-2:])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second chunk: status %d", resp.StatusCode)
+	}
+	if out2.DeltasFolded != 2 || out2.TotalDeltas != len(ds) {
+		t.Fatalf("second chunk folded %d (total %d), want 2 (total %d)", out2.DeltasFolded, out2.TotalDeltas, len(ds))
+	}
+	if !out2.Closed || out2.Opportunity == nil {
+		t.Fatalf("closed stream should carry the opportunity summary: %+v", out2)
+	}
+	if out2.Phases < 2 {
+		t.Fatalf("amr stream detected %d phases, want >= 2", out2.Phases)
+	}
+
+	// A third POST hits the closed session.
+	resp, _ = postDeltas(t, url, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST to closed session: status %d, want 409", resp.StatusCode)
+	}
+
+	// GET reports the whole stream with every plan.
+	resp, data := getBody(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	var got StreamResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Plans) != got.Phases {
+		t.Fatalf("GET reports %d plans for %d phases", len(got.Plans), got.Phases)
+	}
+	for i, p := range got.Plans {
+		if p.Phase != i {
+			t.Fatalf("plan %d carries phase %d", i, p.Phase)
+		}
+	}
+
+	// Metrics counted the folds and boundaries.
+	snap := s.metrics.Snapshot()
+	if snap.StreamDeltas != uint64(len(ds)) {
+		t.Fatalf("metrics counted %d deltas, want %d", snap.StreamDeltas, len(ds))
+	}
+	if snap.StreamPhases != uint64(got.Phases-1) {
+		t.Fatalf("metrics counted %d phase changes, want %d", snap.StreamPhases, got.Phases-1)
+	}
+	if snap.StreamSessions != 1 {
+		t.Fatalf("metrics report %d sessions, want 1", snap.StreamSessions)
+	}
+
+	// DELETE removes the session; a second DELETE and a GET both 404.
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, url); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: status %d, want 404", resp.StatusCode)
+	}
+	if snap := s.metrics.Snapshot(); snap.StreamSessions != 0 {
+		t.Fatalf("sessions gauge %d after DELETE, want 0", snap.StreamSessions)
+	}
+}
+
+// TestStreamEndpointValidation covers the request-discipline paths: bad
+// session ids, bad bodies, bad parameters, and unknown sessions.
+func TestStreamEndpointValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"missing id", "POST", "/v1/stream/", "", http.StatusBadRequest},
+		{"bad id chars", "POST", "/v1/stream/no%20spaces", "", http.StatusBadRequest},
+		{"bad method", "PUT", "/v1/stream/x", "", http.StatusMethodNotAllowed},
+		{"bad body", "POST", "/v1/stream/x1", "{not json", http.StatusBadRequest},
+		{"bad param", "POST", "/v1/stream/x2?enter=nope", "", http.StatusBadRequest},
+		{"get unknown", "GET", "/v1/stream/ghost", "", http.StatusNotFound},
+		{"delete unknown", "DELETE", "/v1/stream/ghost", "", http.StatusNotFound},
+		{"procs over cap", "POST", "/v1/stream/x3",
+			`{"Version":2,"App":"a","Procs":1048576,"Seq":0,"Window":"step000"}`, http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestStreamSessionLimit pins the admission discipline: with a one-slot
+// table a second session is refused with 429 and Retry-After, and
+// deleting the first frees the slot.
+func TestStreamSessionLimit(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, MaxStreamSessions: 1})
+	_, ds := splitRun(t, "cactus", 8, 2)
+
+	if resp, _ := postDeltas(t, ts.URL+"/v1/stream/first", ds[:1]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first session: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream/second", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second session: status %d, want 429", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.RetryAfterSeconds <= 0 {
+		t.Fatalf("429 body should carry retry_after_seconds: %s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stream/first", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if resp, _ := postDeltas(t, ts.URL+"/v1/stream/second", ds[:1]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after DELETE freed the slot: status %d", resp.StatusCode)
+	}
+}
+
+// streamParityProcs mirrors the pipeline parity gating: HFAST_TEST_QUICK=1
+// (the race CI lane) drops the expensive grid size.
+func streamParityProcs() []int {
+	if os.Getenv("HFAST_TEST_QUICK") != "" {
+		return []int{64}
+	}
+	return []int{64, 256}
+}
+
+// TestStreamParity is the end-to-end acceptance check: for every paper
+// skeleton, streaming the profile's deltas through the live endpoint
+// yields byte-identical windows and assignment artifacts to the batch
+// pipeline run over the same profile.
+func TestStreamParity(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4})
+	pl := pipeline.New(pipeline.Options{})
+
+	for _, app := range apps.Names() {
+		for _, procs := range streamParityProcs() {
+			t.Run(fmt.Sprintf("%s/p%d", app, procs), func(t *testing.T) {
+				prof, ds := splitRun(t, app, procs, 2)
+				url := fmt.Sprintf("%s/v1/stream/%s-%d", ts.URL, app, procs)
+
+				// Stream in two chunks to exercise multi-request folding.
+				half := len(ds) / 2
+				if resp, _ := postDeltas(t, url, ds[:half]); resp.StatusCode != http.StatusOK {
+					t.Fatalf("chunk 1: status %d", resp.StatusCode)
+				}
+				if resp, _ := postDeltas(t, url+"?close=1", ds[half:]); resp.StatusCode != http.StatusOK {
+					t.Fatalf("chunk 2: status %d", resp.StatusCode)
+				}
+
+				ref, err := pipeline.Supplied(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := t.Context()
+
+				batchWs, _, err := pl.Windows(ctx, ref, "step", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantWs, err := pipeline.EncodeArtifact(pipeline.StageWindows, batchWs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, gotWs := getBody(t, url+"?artifact=windows")
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("GET windows artifact: status %d", resp.StatusCode)
+				}
+				if !bytes.Equal(wantWs, gotWs) {
+					t.Fatalf("windows artifact differs from batch (%d vs %d bytes)", len(gotWs), len(wantWs))
+				}
+
+				batchA, _, err := pl.Assignment(ctx, ref, pipeline.Steady(), 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantA, err := pipeline.EncodeArtifact(pipeline.StageAssign, batchA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, gotA := getBody(t, url+"?artifact=assignment")
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("GET assignment artifact: status %d", resp.StatusCode)
+				}
+				if !bytes.Equal(wantA, gotA) {
+					t.Fatalf("assignment artifact differs from batch (%d vs %d bytes)", len(gotA), len(wantA))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"github.com/hfast-sim/hfast/internal/apps"
+	"github.com/hfast-sim/hfast/internal/ipm"
+	"github.com/hfast-sim/hfast/internal/topology"
+)
+
+// foldAll folds a profile's delta decomposition through a fresh stream.
+func foldAll(t *testing.T, p *ipm.Profile, det DetectorConfig) *StreamState {
+	t.Helper()
+	ds, err := ipm.SplitDeltas(p)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	s, err := NewStreamState(p.Procs, 0, "step", det)
+	if err != nil {
+		t.Fatalf("new stream: %v", err)
+	}
+	for _, d := range ds {
+		if s, err = s.Fold(d); err != nil {
+			t.Fatalf("fold %q: %v", d.Window, err)
+		}
+	}
+	return s
+}
+
+// TestFoldMatchesBatch pins streaming parity at the trace layer: folding
+// a profile's deltas yields the same window stream as the batch Windows
+// extraction and the same steady-state graph as FromProfile, compared on
+// canonical JSON.
+func TestFoldMatchesBatch(t *testing.T) {
+	for _, app := range []string{"cactus", "gtc", "amr"} {
+		t.Run(app, func(t *testing.T) {
+			p, err := apps.ProfileRun(app, apps.Config{Procs: 16, Steps: 4})
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			s := foldAll(t, p, DetectorConfig{})
+
+			wantWs, err := Windows(p, "step", 0)
+			if err != nil {
+				t.Fatalf("batch windows: %v", err)
+			}
+			wantJSON, err := json.Marshal(wantWs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(s.Windows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Fatalf("folded windows differ from batch extraction (%d vs %d bytes)", len(gotJSON), len(wantJSON))
+			}
+
+			wantG, err := topology.FromProfile(p, ipm.SteadyState)
+			if err != nil {
+				t.Fatalf("batch graph: %v", err)
+			}
+			wantGJ, _ := json.Marshal(wantG)
+			gotGJ, _ := json.Marshal(s.Steady)
+			if !bytes.Equal(wantGJ, gotGJ) {
+				t.Fatalf("folded steady graph differs from FromProfile")
+			}
+		})
+	}
+}
+
+// synthWindow builds a window whose above-cutoff partner edges are the
+// given ring offsets over procs ranks.
+func synthWindow(t *testing.T, region string, procs int, offsets []int) Window {
+	t.Helper()
+	g, err := topology.NewGraph(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range offsets {
+		for i := 0; i < procs; i++ {
+			g.AddTraffic(i, (i+off)%procs, 1, 8192, 8192)
+		}
+	}
+	return Window{Region: region, Graph: g, Stats: g.Stats(topology.DefaultCutoff)}
+}
+
+// TestDetectorHysteresis walks the detector through a phase change and a
+// noise window: the boundary fires once on a large partner-set jump, the
+// disarmed detector ignores an immediately following jump, and it re-arms
+// only after the distance falls below the exit threshold.
+func TestDetectorHysteresis(t *testing.T) {
+	const procs = 32
+	ws := []Window{
+		synthWindow(t, "step000", procs, []int{2, 3}),         // opens phase 0
+		synthWindow(t, "step001", procs, []int{2, 3}),         // identical: stays
+		synthWindow(t, "step002", procs, []int{7, 9}),         // jump: boundary, disarms
+		synthWindow(t, "step003", procs, []int{13, 15}),       // jump while disarmed: ignored
+		synthWindow(t, "step004", procs, []int{7, 9, 13, 15}), // matches phase aggregate: re-arms
+		synthWindow(t, "step005", procs, []int{4, 5}),         // jump: boundary
+	}
+	phases, err := DetectPhases(procs, ws, 0, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3: %+v", len(phases), phases)
+	}
+	wantStarts := []int{0, 2, 5}
+	for i, ph := range phases {
+		if ph.Start != wantStarts[i] {
+			t.Fatalf("phase %d starts at window %d, want %d", i, ph.Start, wantStarts[i])
+		}
+	}
+	// The disarmed jump at step003 must NOT have opened a phase: windows
+	// 2-4 belong to one phase despite the partner change inside it.
+	if phases[1].End != 5 {
+		t.Fatalf("phase 1 ends at %d, want 5 (disarmed jump swallowed)", phases[1].End)
+	}
+}
+
+// TestStreamFoldMatchesDetectPhases pins the online and batch detectors
+// to each other: folding window deltas one at a time yields the same
+// phase list DetectPhases computes over the full slice.
+func TestStreamFoldMatchesDetectPhases(t *testing.T) {
+	p, err := apps.ProfileRun("amr", apps.Config{Procs: 32, Steps: 8})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	s := foldAll(t, p, DetectorConfig{})
+	ws, err := Windows(p, "step", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DetectPhases(p.Procs, ws, 0, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Phases()
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("streamed phases differ from batch detection:\nbatch:  %s\nstream: %s", wj, gj)
+	}
+	if len(got) < 2 {
+		t.Fatalf("amr run detected %d phases, want at least 2", len(got))
+	}
+}
+
+// TestFoldRejectsMismatches covers the stream's single-source-of-truth
+// validation: procs mismatches, app mixing, and out-of-order deltas are
+// errors, never silent truncation.
+func TestFoldRejectsMismatches(t *testing.T) {
+	s, err := NewStreamState(8, 0, "step", DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fold(&ipm.Delta{Version: 2, App: "x", Procs: 4, Seq: 0, Window: "step000"}); err == nil {
+		t.Fatal("expected procs-mismatch error")
+	}
+	s, err = s.Fold(&ipm.Delta{Version: 2, App: "x", Procs: 8, Seq: 0, Window: "step000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fold(&ipm.Delta{Version: 2, App: "y", Procs: 8, Seq: 1, Window: "step001"}); err == nil {
+		t.Fatal("expected app-mixing error")
+	}
+	if _, err := s.Fold(&ipm.Delta{Version: 2, App: "x", Procs: 8, Seq: 5, Window: "step001"}); err == nil {
+		t.Fatal("expected out-of-order seq error")
+	}
+	if _, err := s.Fold(&ipm.Delta{Version: 2, App: "x", Procs: 8, Seq: 1, Window: "step000"}); err == nil {
+		t.Fatal("expected out-of-order window error")
+	}
+}
+
+// TestAnalyzeWindowsProcsMismatch is the regression test for the old
+// redundant-procs API hazard: callers passed procs alongside windows, and
+// a mismatch silently produced nonsense. It is now an error.
+func TestAnalyzeWindowsProcsMismatch(t *testing.T) {
+	ws := []Window{synthWindow(t, "step000", 16, []int{2})}
+	if _, err := AnalyzeWindows(16, ws, 0); err != nil {
+		t.Fatalf("matching procs should analyze: %v", err)
+	}
+	if _, err := AnalyzeWindows(32, ws, 0); err == nil {
+		t.Fatal("expected error when procs disagrees with the windows' rank count")
+	}
+}
+
+// TestPhaseDeterminism pins the streaming analysis bitwise across worker
+// counts: the folded windows, steady graph, and detected phases are
+// byte-identical at GOMAXPROCS=1 and 4 (graph building shards over
+// par.Ranges; everything downstream must stay order-free).
+func TestPhaseDeterminism(t *testing.T) {
+	run := func() []byte {
+		p, err := apps.ProfileRun("amr", apps.Config{Procs: 64, Steps: 8})
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		s := foldAll(t, p, DetectorConfig{})
+		blob, err := json.Marshal(struct {
+			Windows []Window
+			Steady  *topology.Graph
+			Phases  []Phase
+			Last    FoldEvent
+		}{s.Windows, s.Steady, s.Phases(), s.Last})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(4)
+	four := run()
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("phase analysis differs across GOMAXPROCS (%d vs %d bytes)", len(one), len(four))
+	}
+}

@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -118,10 +119,19 @@ func Analyze(p *ipm.Profile, cutoff int) (Opportunity, error) {
 
 // AnalyzeWindows computes the reconfiguration opportunity from
 // already-extracted windows (e.g. a cached pipeline artifact), so the
-// expensive per-region graph builds are not repeated per analysis.
+// expensive per-region graph builds are not repeated per analysis. The
+// windows carry their own rank count (each Graph.P); procs is the
+// caller's idea of the run size, and a mismatch is an error rather than
+// a silently wrong union graph.
 func AnalyzeWindows(procs int, ws []Window, cutoff int) (Opportunity, error) {
 	if cutoff == 0 {
 		cutoff = topology.DefaultCutoff
+	}
+	for i := range ws {
+		if ws[i].Graph != nil && ws[i].Graph.P != procs {
+			return Opportunity{}, fmt.Errorf("trace: window %q spans %d ranks but caller claims %d procs",
+				ws[i].Region, ws[i].Graph.P, procs)
+		}
 	}
 	op := Opportunity{Windows: len(ws)}
 	if len(ws) == 0 {

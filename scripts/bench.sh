@@ -2,11 +2,12 @@
 # bench.sh — run the fast-path benchmark suite and emit a JSON summary.
 #
 # Usage:
-#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline] [--cluster] [--netsim]
+#   scripts/bench.sh [-o out.json] [--smoke] [--pipeline] [--cluster] [--netsim] [--stream]
 #
 #   -o FILE     write the JSON snapshot to FILE (default: BENCH_PR7.json,
 #               BENCH_PR5.json with --pipeline, BENCH_PR6.json with
-#               --cluster, BENCH_PR9.json with --netsim)
+#               --cluster, BENCH_PR9.json with --netsim, BENCH_PR10.json
+#               with --stream)
 #   --smoke     run every benchmark exactly once (-benchtime=1x); useful as
 #               a CI canary that the suite still compiles and runs
 #   --pipeline  run only the artifact-pipeline cold/warm pair: a P=256
@@ -39,6 +40,14 @@
 #               engine arenas within one process, so b_per_op is only
 #               comparable between runs with the same fabric grouping —
 #               the first fabric pays the arena growth the rest inherit
+#   --stream    run only the streaming-ingestion benchmarks: the P=256
+#               delta-stream fold, cold (empty pipeline; the deltas/s
+#               custom metric is the live-ingestion throughput headline)
+#               and warm (every link a content-addressed cache hit — a
+#               reconnecting client's replay), plus the P=1024 circuit
+#               planner at a phase boundary: incremental PlanDiff against
+#               the previous assignment vs wiring the phase from a dark
+#               fabric
 #
 # Every run also regenerates BENCH.json: the consolidated trajectory of
 # all BENCH_PR*.json snapshots ({"trajectory": [{"tag": "PR2", ...}, ...]},
@@ -69,6 +78,7 @@ benchtime=""
 pipeline_only=""
 cluster_only=""
 netsim_only=""
+stream_only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     -o) out="$2"; shift 2 ;;
@@ -76,7 +86,8 @@ while [ $# -gt 0 ]; do
     --pipeline) pipeline_only=1; shift ;;
     --cluster) cluster_only=1; shift ;;
     --netsim) netsim_only=1; shift ;;
-    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline] [--cluster] [--netsim]" >&2; exit 2 ;;
+    --stream) stream_only=1; shift ;;
+    *) echo "usage: $0 [-o out.json] [--smoke] [--pipeline] [--cluster] [--netsim] [--stream]" >&2; exit 2 ;;
   esac
 done
 if [ -z "$out" ]; then
@@ -84,6 +95,7 @@ if [ -z "$out" ]; then
   [ -n "$pipeline_only" ] && out="BENCH_PR5.json"
   [ -n "$cluster_only" ] && out="BENCH_PR6.json"
   [ -n "$netsim_only" ] && out="BENCH_PR9.json"
+  [ -n "$stream_only" ] && out="BENCH_PR10.json"
 fi
 
 raw="$(mktemp)"
@@ -97,7 +109,10 @@ run() { # run <package> <bench regexp> [extra go test flags...]
     | awk -v pkg="$pkg" '/^Benchmark/ { print pkg, $0 }' >>"$raw"
 }
 
-if [ -n "$netsim_only" ]; then
+if [ -n "$stream_only" ]; then
+  run ./internal/pipeline 'BenchmarkStreamFoldCold$|BenchmarkStreamFoldWarm$'
+  run ./internal/hfast 'BenchmarkDiffPlan$|BenchmarkFullReplan$'
+elif [ -n "$netsim_only" ]; then
   export HFAST_TEST_ULTRA=1
   profdir="${BENCH_PROFILE_DIR:-bench-profiles}"
   mkdir -p "$profdir"
@@ -128,15 +143,17 @@ BEGIN {
 {
   # <pkg> <BenchmarkName-P> <iters> <ns> ns/op [<B> B/op <allocs> allocs/op]
   name = $2; sub(/-[0-9]+$/, "", name)
-  ns = ""; bpo = ""; apo = ""
+  ns = ""; bpo = ""; apo = ""; dps = ""
   for (i = 3; i <= NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     if ($(i+1) == "B/op") bpo = $i
     if ($(i+1) == "allocs/op") apo = $i
+    if ($(i+1) == "deltas/s") dps = $i
   }
   if (!first) printf ",\n"
   first = 0
   printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, name, $3, ns
+  if (dps != "") printf ", \"deltas_per_s\": %s", dps
   if (bpo != "") printf ", \"b_per_op\": %s, \"allocs_per_op\": %s", bpo, apo
   printf "}"
 }
